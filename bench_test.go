@@ -1,0 +1,159 @@
+// Benchmarks regenerating the characteristic cell of every table and
+// figure in the paper's evaluation. Each benchmark reports throughput
+// (tps) and, where the paper's point is about aborts, the abort rate,
+// as custom metrics alongside the usual ns/op.
+//
+// The full parameter sweeps (every warehouse count, every θ, every
+// system) live in the CLI harness:
+//
+//	go run ./cmd/thedb-bench all
+//
+// These testing.B entry points pin one representative cell per
+// experiment so `go test -bench .` exercises the entire matrix.
+package thedb_test
+
+import (
+	"testing"
+
+	"thedb/internal/bench"
+	"thedb/internal/workload/tpcc"
+)
+
+// benchTPCC runs b.N transactions of the mix on the given system.
+func benchTPCC(b *testing.B, sys bench.System, workers, warehouses int, mix tpcc.Mix) {
+	run, cleanup := bench.PrepareTPCC(sys, workers, warehouses, mix)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+	b.ReportMetric(agg.AbortRate(), "aborts/txn")
+}
+
+func benchSmallbank(b *testing.B, sys bench.System, workers int, theta float64) {
+	run, cleanup := bench.PrepareSmallbank(sys, workers, theta)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+	b.ReportMetric(agg.AbortRate(), "aborts/txn")
+}
+
+// Figure 8: OCC and Silo against their no-validation peaks at high
+// contention (WH=2).
+func BenchmarkFig8_OCC_WH2(b *testing.B)      { benchTPCC(b, bench.OCC, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig8_OCCMinus_WH2(b *testing.B) { benchTPCC(b, bench.OCCMinus, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig8_Silo_WH2(b *testing.B)     { benchTPCC(b, bench.SILO, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig8_SiloMinus_WH2(b *testing.B) {
+	benchTPCC(b, bench.SILOMinus, 8, 2, tpcc.StandardMix())
+}
+
+// Figure 9: the abort-rate metric of the OCC cell above is the
+// figure's subject; this benchmark pins the low-contention contrast.
+func BenchmarkFig9_OCC_WH48(b *testing.B) { benchTPCC(b, bench.OCC, 8, 48, tpcc.StandardMix()) }
+
+// Figure 10: all systems at the paper's most contended point.
+func BenchmarkFig10_THEDB_WH2(b *testing.B)  { benchTPCC(b, bench.THEDB, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig10_2PL_WH2(b *testing.B)    { benchTPCC(b, bench.TPL, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig10_Hybrid_WH2(b *testing.B) { benchTPCC(b, bench.HYBRID, 8, 2, tpcc.StandardMix()) }
+func BenchmarkFig10_DT_WH2(b *testing.B)     { benchTPCC(b, bench.DT, 8, 2, tpcc.StandardMix()) }
+
+// Figure 11: scaling in workers at WH=4 (one low, one high point).
+func BenchmarkFig11_THEDB_W1_WH4(b *testing.B) { benchTPCC(b, bench.THEDB, 1, 4, tpcc.StandardMix()) }
+func BenchmarkFig11_THEDB_W8_WH4(b *testing.B) { benchTPCC(b, bench.THEDB, 8, 4, tpcc.StandardMix()) }
+
+// Figure 12: the deterministic engine with and without
+// cross-partition transactions.
+func BenchmarkFig12_DT_Cross0(b *testing.B) {
+	mix := tpcc.StandardMix()
+	mix.RemotePct = 0
+	benchTPCC(b, bench.DT, 8, 8, mix)
+}
+func BenchmarkFig12_DT_Cross10(b *testing.B) {
+	mix := tpcc.StandardMix()
+	mix.RemotePct = 10
+	benchTPCC(b, bench.DT, 8, 8, mix)
+}
+
+// Table 1 measures latency distributions; its throughput cell is the
+// contended NewOrder-heavy mix at WH=4.
+func BenchmarkTab1_THEDB_WH4(b *testing.B) { benchTPCC(b, bench.THEDB, 8, 4, tpcc.StandardMix()) }
+func BenchmarkTab1_OCC_WH4(b *testing.B)   { benchTPCC(b, bench.OCC, 8, 4, tpcc.StandardMix()) }
+
+// Figure 13: healing with a 50% ad-hoc share sits between THEDB and
+// OCC; the pure NewOrder mix shows the contrast most clearly.
+func BenchmarkFig13_THEDB_NewOrderOnly(b *testing.B) {
+	benchTPCC(b, bench.THEDB, 8, 4, tpcc.Mix{NewOrderOnly: true})
+}
+
+// Table 2 / Figure 14 / Table 3: Smallbank across the θ axis.
+func BenchmarkTab2_THEDB_Theta09(b *testing.B) { benchSmallbank(b, bench.THEDB, 8, 0.9) }
+func BenchmarkTab2_OCC_Theta09(b *testing.B)   { benchSmallbank(b, bench.OCC, 8, 0.9) }
+func BenchmarkFig14_Silo_Theta01(b *testing.B) { benchSmallbank(b, bench.SILO, 8, 0.1) }
+func BenchmarkFig14_Silo_Theta09(b *testing.B) { benchSmallbank(b, bench.SILO, 8, 0.9) }
+func BenchmarkTab3_THEDB_Theta05(b *testing.B) { benchSmallbank(b, bench.THEDB, 8, 0.5) }
+
+// Table 4: the access-cache and read-copy maintenance overhead on a
+// contention-free workload (WH = workers, NewOrder only).
+func BenchmarkTab4_Normal(b *testing.B) {
+	run, cleanup := bench.PrepareTPCCAblation(8, tpcc.Mix{NewOrderOnly: true}, true, true)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+}
+func BenchmarkTab4_AccessCache(b *testing.B) {
+	run, cleanup := bench.PrepareTPCCAblation(8, tpcc.Mix{NewOrderOnly: true}, false, true)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+}
+func BenchmarkTab4_ReadCopy(b *testing.B) {
+	run, cleanup := bench.PrepareTPCCAblation(8, tpcc.Mix{NewOrderOnly: true}, false, false)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+}
+
+// Figure 16: logging modes (in-memory sink, as in the paper's
+// Appendix C).
+func BenchmarkFig16_ValueLogging(b *testing.B) {
+	run, cleanup := bench.PrepareTPCCLogging(8, 12, bench.ValueLoggingMode)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+}
+func BenchmarkFig16_CommandLogging(b *testing.B) {
+	run, cleanup := bench.PrepareTPCCLogging(8, 12, bench.CommandLoggingMode)
+	defer cleanup()
+	b.ResetTimer()
+	agg := run(int64(b.N))
+	b.StopTimer()
+	b.ReportMetric(agg.TPS(), "tps")
+}
+
+// Figure 17 (substituted Silo sanity) and Figure 18 (DT linear
+// scaling, perfectly partitionable).
+func BenchmarkFig17_Silo_WH8(b *testing.B) { benchTPCC(b, bench.SILO, 8, 8, tpcc.StandardMix()) }
+func BenchmarkFig18_DT_WH8_NoCross(b *testing.B) {
+	mix := tpcc.StandardMix()
+	mix.RemotePct = 0
+	benchTPCC(b, bench.DT, 8, 8, mix)
+}
+
+// Table 5: low-contention latency cell (WH=24).
+func BenchmarkTab5_THEDB_WH24(b *testing.B) { benchTPCC(b, bench.THEDB, 8, 24, tpcc.StandardMix()) }
+
+// Figure 19's subject is the phase breakdown; its timing cell is
+// THEDB vs OCC at WH=4 (see BenchmarkTab1_*). Table 6 / Figure 20:
+// validation-order rearrangement.
+func BenchmarkFig20_THEDBW_WH4(b *testing.B) { benchTPCC(b, bench.THEDBW, 8, 4, tpcc.StandardMix()) }
+func BenchmarkTab6_THEDB_WH4(b *testing.B)   { benchTPCC(b, bench.THEDB, 8, 4, tpcc.StandardMix()) }

@@ -1,0 +1,68 @@
+// Command thedb-bench regenerates the tables and figures of
+// "Transaction Healing: Scaling Optimistic Concurrency Control on
+// Multicores" (SIGMOD 2016).
+//
+// Usage:
+//
+//	thedb-bench [flags] all            # every experiment, paper order
+//	thedb-bench [flags] fig10 tab1 ... # selected experiments
+//	thedb-bench list                   # available experiment ids
+//
+// Flags:
+//
+//	-workers N    concurrent workers standing in for the paper's cores (default 8)
+//	-duration D   measured window per cell (default 400ms)
+//	-quick        shrink sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thedb/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent workers (the paper's 'cores' axis)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "measured window per experiment cell")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := bench.Opts{
+		Workers:  *workers,
+		Duration: *duration,
+		Out:      os.Stdout,
+		Quick:    *quick,
+	}
+
+	if args[0] == "list" {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if args[0] == "all" {
+		bench.RunAll(opts)
+		return
+	}
+	for _, id := range args {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'thedb-bench list'\n", id)
+			os.Exit(2)
+		}
+		e.Run(opts)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: thedb-bench [flags] all | list | <experiment-id>...")
+	flag.PrintDefaults()
+}

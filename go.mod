@@ -1,0 +1,3 @@
+module thedb
+
+go 1.22

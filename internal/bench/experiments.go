@@ -1,0 +1,658 @@
+package bench
+
+import (
+	"fmt"
+
+	"thedb/internal/metrics"
+	"thedb/internal/workload/tpcc"
+	"thedb/internal/workload/zipf"
+)
+
+// Experiment is one reproducible paper result.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Opts)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig8", "OCC/Silo throughput vs warehouses, with and without validation", Fig8},
+		{"fig9", "abort-and-restart overhead and abort rate vs warehouses", Fig9},
+		{"fig10", "all systems: throughput vs warehouses", Fig10},
+		{"fig11", "throughput vs workers at WH=4/16/48", Fig11},
+		{"fig12", "throughput vs % cross-partition transactions", Fig12},
+		{"tab1", "TPC-C NewOrder/Delivery latency histograms (WH=4)", Table1},
+		{"fig13", "throughput vs % ad-hoc transactions (WH=4)", Fig13},
+		{"tab2", "Zipf key popularity and Smallbank abort rates vs theta", Table2},
+		{"fig14", "Smallbank throughput vs theta", Fig14},
+		{"fig15", "program dependency graphs of NewOrder and Delivery", Fig15},
+		{"tab3", "Smallbank latency percentiles vs theta", Table3},
+		{"tab4", "runtime overhead: access cache and read copies", Table4},
+		{"fig16", "value vs command logging throughput (WH=12)", Fig16},
+		{"fig17", "THEDB-SILO sanity: throughput vs warehouses", Fig17},
+		{"fig18", "THEDB-DT linear scaling in partitions (0% cross)", Fig18},
+		{"tab5", "TPC-C latency histograms at low contention (WH=24)", Table5},
+		{"fig19", "runtime phase breakdown: THEDB vs THEDB-OCC", Fig19},
+		{"fig20", "validation-order rearrangement: THEDB vs THEDB-W", Fig20},
+		{"tab6", "deadlock-prevention abort rate: THEDB vs THEDB-W", Table6},
+		{"xlock", "ablation: bounded no-wait lock attempts during healing", AblLockAttempts},
+		{"xinterleave", "ablation: multicore-interleaving emulation on/off", AblInterleave},
+	}
+}
+
+// warehouseSweep returns the paper's contention axis.
+func warehouseSweep(o Opts) []int {
+	if o.Quick {
+		return []int{2, 8, 48}
+	}
+	return []int{2, 4, 8, 16, 32, 48}
+}
+
+func workerSweep(o Opts) []int {
+	ws := []int{1, 2, 4, 8}
+	if o.Workers > 8 {
+		ws = append(ws, o.Workers)
+	}
+	if o.Quick {
+		return []int{1, o.Workers}
+	}
+	return ws
+}
+
+// Fig8 reproduces Figure 8: THEDB-OCC and THEDB-SILO throughput vs
+// warehouse count, plus their validation-disabled peaks.
+func Fig8(o Opts) {
+	o.Defaults()
+	systems := []System{OCC, OCCMinus, SILO, SILOMinus}
+	t := &Table{
+		ID:     "fig8",
+		Title:  "TPC-C throughput (K tps) vs #warehouses, " + fmt.Sprint(o.Workers) + " workers",
+		Header: append([]string{"#warehouses"}, systemNames(systems)...),
+		Notes: []string{
+			"paper: both OCC variants collapse at low warehouse counts; disabling validation recovers 3-12x (peak without aborts)",
+		},
+	}
+	for _, wh := range warehouseSweep(o) {
+		row := []string{fmt.Sprint(wh)}
+		for _, sys := range systems {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+				mix: tpcc.StandardMix(), duration: o.Duration})
+			row = append(row, ktps(res.agg.TPS()))
+		}
+		t.AddRow(row...)
+	}
+	t.Print(o.Out)
+}
+
+// Fig9 reproduces Figure 9: share of execution time wasted in
+// abort-and-restart (a) and the abort rate (b).
+func Fig9(o Opts) {
+	o.Defaults()
+	systems := []System{OCC, SILO}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "abort-and-restart overhead vs #warehouses",
+		Header: []string{"#warehouses", "OCC %time-abort", "SILO %time-abort", "OCC abort-rate", "SILO abort-rate"},
+		Notes: []string{
+			"paper at WH=2: OCC 69% / SILO 91% of time in abort-restart; abort rate grows as contention rises",
+		},
+	}
+	for _, wh := range warehouseSweep(o) {
+		row := []string{fmt.Sprint(wh)}
+		var rates []string
+		for _, sys := range systems {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+				mix: tpcc.StandardMix(), duration: o.Duration, detailed: true})
+			row = append(row, pct(res.agg.PhaseFraction(metrics.PhaseAbort)))
+			rates = append(rates, f(res.agg.AbortRate()))
+		}
+		row = append(row, rates...)
+		t.AddRow(row...)
+	}
+	t.Print(o.Out)
+}
+
+// Fig10 reproduces Figure 10: all systems vs warehouse count.
+func Fig10(o Opts) {
+	o.Defaults()
+	systems := append(append([]System{}, AllSystems...), OCCMinus)
+	t := &Table{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("TPC-C throughput (K tps) vs #warehouses, %d workers", o.Workers),
+		Header: append([]string{"#warehouses"}, systemNames(systems)...),
+		Notes: []string{
+			"paper: THEDB stays near THEDB-OCC-'s no-abort peak as contention rises; all baselines drop sharply at WH=2",
+		},
+	}
+	for _, wh := range warehouseSweep(o) {
+		row := []string{fmt.Sprint(wh)}
+		for _, sys := range systems {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+				mix: tpcc.StandardMix(), duration: o.Duration})
+			row = append(row, ktps(res.agg.TPS()))
+		}
+		t.AddRow(row...)
+	}
+	t.Print(o.Out)
+}
+
+// Fig11 reproduces Figure 11: throughput vs worker count at three
+// contention levels.
+func Fig11(o Opts) {
+	o.Defaults()
+	for _, wh := range []int{4, 16, 48} {
+		t := &Table{
+			ID:     "fig11",
+			Title:  fmt.Sprintf("TPC-C throughput (K tps) vs workers, WH=%d", wh),
+			Header: append([]string{"workers"}, systemNames(AllSystems)...),
+			Notes: []string{
+				"paper (WH=4): THEDB 2.3x over 2PL and 6.2x over SILO at full scale; DT capped by warehouse count",
+			},
+		}
+		for _, wk := range workerSweep(o) {
+			row := []string{fmt.Sprint(wk)}
+			for _, sys := range AllSystems {
+				res := runTPCC(tpccRun{system: sys, workers: wk, warehouses: wh,
+					mix: tpcc.StandardMix(), duration: o.Duration})
+				row = append(row, ktps(res.agg.TPS()))
+			}
+			t.AddRow(row...)
+		}
+		t.Print(o.Out)
+		if o.Quick {
+			break
+		}
+	}
+}
+
+// Fig12 reproduces Figure 12: throughput vs the share of
+// cross-partition transactions; THEDB-DT collapses, everyone else is
+// flat.
+func Fig12(o Opts) {
+	o.Defaults()
+	systems := []System{THEDB, OCC, SILO, TPL, DT}
+	whs := []int{4, 16, 48}
+	if o.Quick {
+		whs = []int{4}
+	}
+	for _, wh := range whs {
+		t := &Table{
+			ID:     "fig12",
+			Title:  fmt.Sprintf("TPC-C throughput (K tps) vs %% cross-partition, WH=%d", wh),
+			Header: append([]string{"%cross"}, systemNames(systems)...),
+			Notes: []string{
+				"paper: only THEDB-DT degrades with cross-partition share (coarse partition locks)",
+			},
+		}
+		for _, cross := range []int{0, 1, 5, 10, 20} {
+			mix := tpcc.StandardMix()
+			mix.RemotePct = cross
+			row := []string{fmt.Sprint(cross)}
+			for _, sys := range systems {
+				res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+					mix: mix, duration: o.Duration})
+				row = append(row, ktps(res.agg.TPS()))
+			}
+			t.AddRow(row...)
+		}
+		t.Print(o.Out)
+	}
+}
+
+// latencyBuckets are the paper's Table 1/5 bucket edges in µs. On
+// this emulated-multicore substrate absolute latencies run roughly
+// latencyScale times the paper's testbed (one physical core,
+// per-operation scheduler yields), so the edges are scaled up by that
+// factor; the *distribution shape* across buckets is the reproduction
+// target.
+const latencyScale = 32
+
+var newOrderBuckets = [][2]float64{
+	{10, 20}, {20, 40}, {40, 80}, {80, 160}, {160, 320}, {320, 640}, {640, 1e15},
+}
+var deliveryBuckets = [][2]float64{
+	{10, 80}, {80, 160}, {160, 320}, {320, 640}, {640, 1280}, {1280, 2560}, {2560, 5120}, {5120, 1e15},
+}
+
+// latencyTable renders a Table 1/5-style histogram at the given
+// warehouse count.
+func latencyTable(o Opts, id string, wh int) {
+	systems := []System{THEDB, OCC, SILO, TPL, OCCMinus, SILOMinus}
+	for _, procName := range []string{tpcc.ProcNewOrder, tpcc.ProcDelivery} {
+		buckets := newOrderBuckets
+		if procName == tpcc.ProcDelivery {
+			buckets = deliveryBuckets
+		}
+		t := &Table{
+			ID:     id,
+			Title:  fmt.Sprintf("%s latency distribution (bucket edges = paper us x%d), WH=%d, %d workers", procName, latencyScale, wh, o.Workers),
+			Header: append([]string{"latency(us)"}, systemNames(systems)...),
+			Notes: []string{
+				"paper: THEDB's distribution is tight (no restarts); OCC/SILO/2PL spread into the long buckets under contention",
+			},
+		}
+		shares := make([]*Sampler, len(systems))
+		for i, sys := range systems {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+				mix: tpcc.StandardMix(), duration: o.Duration, procOnly: procName})
+			s := res.perProc[procName]
+			if s == nil {
+				s = &Sampler{}
+			}
+			shares[i] = s
+		}
+		for _, b := range buckets {
+			label := fmt.Sprintf("%.0fx-%.0fx", b[0], b[1])
+			if b[1] > 1e14 {
+				label = fmt.Sprintf("%.0fx-INF", b[0])
+			}
+			row := []string{label}
+			for i := range systems {
+				row = append(row, pct(shares[i].Share(b[0]*latencyScale, b[1]*latencyScale)))
+			}
+			t.AddRow(row...)
+		}
+		t.Print(o.Out)
+	}
+}
+
+// Table1 reproduces Table 1 (WH=4, high contention).
+func Table1(o Opts) {
+	o.Defaults()
+	latencyTable(o, "tab1", 4)
+}
+
+// Table5 reproduces Table 5 (WH=24, low contention).
+func Table5(o Opts) {
+	o.Defaults()
+	latencyTable(o, "tab5", 24)
+}
+
+// Fig13 reproduces Figure 13: THEDB degrades smoothly to plain OCC as
+// the ad-hoc share grows (§4.8).
+func Fig13(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("THEDB throughput (K tps) vs %% ad-hoc transactions, WH=4, %d workers", o.Workers),
+		Header: []string{"%adhoc", "THEDB", "THEDB-OCC (floor)"},
+		Notes: []string{
+			"paper: smooth degradation from full healing to conventional OCC at 100% ad-hoc",
+		},
+	}
+	occFloor := runTPCC(tpccRun{system: OCC, workers: o.Workers, warehouses: 4,
+		mix: tpcc.StandardMix(), duration: o.Duration})
+	for _, adhoc := range []int{0, 25, 50, 75, 100} {
+		res := runTPCC(tpccRun{system: THEDB, workers: o.Workers, warehouses: 4,
+			mix: tpcc.StandardMix(), duration: o.Duration, adhocPct: adhoc})
+		t.AddRow(fmt.Sprint(adhoc), ktps(res.agg.TPS()), ktps(occFloor.agg.TPS()))
+	}
+	t.Print(o.Out)
+}
+
+// thetaSweep is the Smallbank contention axis.
+func thetaSweep(o Opts) []float64 {
+	if o.Quick {
+		return []float64{0.1, 0.5, 0.9}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// Table2 reproduces Table 2: analytic Zipf key popularity plus
+// measured abort rates of THEDB / THEDB-OCC / THEDB-SILO.
+func Table2(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Zipf access shares (1000 keys) and Smallbank abort rates",
+		Header: []string{"theta", "1st", "2nd", "10th", "100th", "abort THEDB/OCC/SILO"},
+		Notes: []string{
+			"paper: THEDB aborts nothing at any theta; OCC/SILO climb to 0.32/0.40 at theta=0.9",
+		},
+	}
+	for _, theta := range thetaSweep(o) {
+		g := zipf.New(1000, theta)
+		var rates []string
+		for _, sys := range []System{THEDB, OCC, SILO} {
+			res := runSmallbank(smallbankRun{system: sys, workers: o.Workers,
+				theta: theta, duration: o.Duration})
+			rates = append(rates, f(res.agg.AbortRate()))
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", theta),
+			pct(g.Probability(0)), pct(g.Probability(1)), pct(g.Probability(9)), pct(g.Probability(99)),
+			rates[0]+" / "+rates[1]+" / "+rates[2],
+		)
+	}
+	t.Print(o.Out)
+}
+
+// Fig14 reproduces Figure 14: Smallbank throughput vs theta.
+func Fig14(o Opts) {
+	o.Defaults()
+	systems := []System{THEDB, OCC, SILO, TPL, OCCMinus}
+	t := &Table{
+		ID:     "fig14",
+		Title:  fmt.Sprintf("Smallbank throughput (K tps) vs theta, %d workers", o.Workers),
+		Header: append([]string{"theta"}, systemNames(systems)...),
+		Notes: []string{
+			"paper: SILO slightly ahead at theta=0.1, worst at 0.9; THEDB stable, ~4.5x over baselines at high skew",
+		},
+	}
+	for _, theta := range thetaSweep(o) {
+		row := []string{fmt.Sprintf("%.1f", theta)}
+		for _, sys := range systems {
+			res := runSmallbank(smallbankRun{system: sys, workers: o.Workers,
+				theta: theta, duration: o.Duration})
+			row = append(row, ktps(res.agg.TPS()))
+		}
+		t.AddRow(row...)
+	}
+	t.Print(o.Out)
+}
+
+// Fig15 reproduces Appendix B's Figure 15: the program dependency
+// graphs the static analyzer extracts for NewOrder and Delivery.
+// Solid edges in the paper are key dependencies (K here), dashed are
+// value dependencies (V).
+func Fig15(o Opts) {
+	o.Defaults()
+	fmt.Fprintln(o.Out, "== fig15: program dependency graphs (K = key dep, V = value dep) ==")
+	for _, g := range tpcc.DependencyGraphs() {
+		fmt.Fprintln(o.Out, g)
+	}
+	fmt.Fprintln(o.Out, "note: paper Fig. 15: Delivery's graphs chain oldest->order->lines->customer per district; NewOrder fans out from the district read")
+	fmt.Fprintln(o.Out)
+}
+
+// Table3 reproduces Table 3: Smallbank latency percentiles.
+func Table3(o Opts) {
+	o.Defaults()
+	systems := []System{THEDB, OCC, SILO}
+	t := &Table{
+		ID:     "tab3",
+		Title:  fmt.Sprintf("Smallbank latency percentiles (us), %d workers", o.Workers),
+		Header: []string{"theta", "pctile", "THEDB", "THEDB-OCC", "THEDB-SILO"},
+		Notes: []string{
+			"paper: similar at theta=0.5; at 0.9 the baselines' p95 blows up (36-43us vs THEDB's 11us scale)",
+		},
+	}
+	for _, theta := range []float64{0.5, 0.7, 0.9} {
+		lat := make([]*Sampler, len(systems))
+		for i, sys := range systems {
+			res := runSmallbank(smallbankRun{system: sys, workers: o.Workers,
+				theta: theta, duration: o.Duration})
+			lat[i] = res.latency
+		}
+		for _, p := range []float64{25, 80, 95} {
+			row := []string{fmt.Sprintf("%.1f", theta), fmt.Sprintf("p%.0f", p)}
+			for i := range systems {
+				row = append(row, f(lat[i].Percentile(p)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Print(o.Out)
+}
+
+// Table4 reproduces Table 4: the maintenance cost of the access cache
+// and read copies on a contention-free workload (WH = workers, each
+// worker pinned to its own warehouse).
+func Table4(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "tab4",
+		Title:  "THEDB throughput (K tps), contention-free (WH=workers): structure-maintenance overhead",
+		Header: []string{"workers", "Normal", "+AccessCache", "+ReadCopy"},
+		Notes: []string{
+			"paper: access cache costs ~4%, read copies ~2% more — both negligible",
+		},
+	}
+	for _, wk := range workerSweep(o) {
+		mix := tpcc.Mix{NewOrderOnly: true}
+		base := tpccRun{system: THEDB, workers: wk, warehouses: wk, mix: mix, duration: o.Duration}
+		normal := base
+		normal.noAccessCache, normal.noReadCopies = true, true
+		cacheOnly := base
+		cacheOnly.noReadCopies = true
+		full := base
+		r1 := runTPCC(normal)
+		r2 := runTPCC(cacheOnly)
+		r3 := runTPCC(full)
+		t.AddRow(fmt.Sprint(wk), ktps(r1.agg.TPS()), ktps(r2.agg.TPS()), ktps(r3.agg.TPS()))
+	}
+	t.Print(o.Out)
+}
+
+// Fig16 reproduces Appendix C's logging experiment: value vs command
+// logging against an in-memory sink (exactly the paper's setup).
+func Fig16(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "fig16",
+		Title:  fmt.Sprintf("THEDB throughput (K tps) with logging, WH=12, %d workers", o.Workers),
+		Header: []string{"workers", "no-logging", "value-logging", "command-logging"},
+		Notes: []string{
+			"paper: value logging tracks command logging closely; the commit protocol is not the bottleneck",
+		},
+	}
+	for _, wk := range workerSweep(o) {
+		none := runTPCC(tpccRun{system: THEDB, workers: wk, warehouses: 12,
+			mix: tpcc.StandardMix(), duration: o.Duration})
+		value := runTPCC(tpccRun{system: THEDB, workers: wk, warehouses: 12,
+			mix: tpcc.StandardMix(), duration: o.Duration, logging: true, logMode: 0})
+		command := runTPCC(tpccRun{system: THEDB, workers: wk, warehouses: 12,
+			mix: tpcc.StandardMix(), duration: o.Duration, logging: true, logMode: 1})
+		t.AddRow(fmt.Sprint(wk), ktps(none.agg.TPS()), ktps(value.agg.TPS()), ktps(command.agg.TPS()))
+	}
+	t.Print(o.Out)
+}
+
+// Fig17 reproduces Appendix D's Silo sanity check, substituted per
+// DESIGN.md §3: our THEDB-SILO swept over the contention axis must
+// scale smoothly with warehouse count.
+func Fig17(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "fig17",
+		Title:  fmt.Sprintf("THEDB-SILO throughput (K tps) vs #warehouses, %d workers", o.Workers),
+		Header: []string{"#warehouses", "THEDB-SILO"},
+		Notes: []string{
+			"substitution: the paper compares against the external Silo binary; we verify the reimplementation's contention profile",
+		},
+	}
+	for _, wh := range warehouseSweep(o) {
+		res := runTPCC(tpccRun{system: SILO, workers: o.Workers, warehouses: wh,
+			mix: tpcc.StandardMix(), duration: o.Duration})
+		t.AddRow(fmt.Sprint(wh), ktps(res.agg.TPS()))
+	}
+	t.Print(o.Out)
+}
+
+// Fig18 reproduces Appendix D's H-Store comparison, substituted:
+// THEDB-DT throughput must grow with the partition count when the
+// workload is perfectly partitionable.
+func Fig18(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "fig18",
+		Title:  fmt.Sprintf("THEDB-DT throughput (K tps) vs #warehouses (=partitions), 0%% cross, %d workers", o.Workers),
+		Header: []string{"#warehouses", "THEDB-DT"},
+		Notes: []string{
+			"paper: linear growth in partitions (the open-source H-Store plateaued at 4.8K tps on its network stack)",
+		},
+	}
+	whs := []int{1, 2, 4, 8}
+	if !o.Quick {
+		whs = append(whs, 16, 32, 48)
+	}
+	for _, wh := range whs {
+		mix := tpcc.StandardMix()
+		mix.RemotePct = 0
+		res := runTPCC(tpccRun{system: DT, workers: o.Workers, warehouses: wh,
+			mix: mix, duration: o.Duration})
+		t.AddRow(fmt.Sprint(wh), ktps(res.agg.TPS()))
+	}
+	t.Print(o.Out)
+}
+
+// Fig19 reproduces Appendix F: the phase breakdown of THEDB vs
+// THEDB-OCC at WH=4.
+func Fig19(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "fig19",
+		Title:  "runtime breakdown (%) at WH=4",
+		Header: []string{"system", "workers", "read", "validate", "heal", "write", "abort"},
+		Notes: []string{
+			"paper: OCC's abort share explodes with workers; THEDB trades it for a modest heal share, write stays ~20%",
+		},
+	}
+	for _, sys := range []System{OCC, THEDB} {
+		for _, wk := range workerSweep(o) {
+			res := runTPCC(tpccRun{system: sys, workers: wk, warehouses: 4,
+				mix: tpcc.StandardMix(), duration: o.Duration, detailed: true})
+			t.AddRow(sys.String(), fmt.Sprint(wk),
+				pct(res.agg.PhaseFraction(metrics.PhaseRead)),
+				pct(res.agg.PhaseFraction(metrics.PhaseValidate)),
+				pct(res.agg.PhaseFraction(metrics.PhaseHeal)),
+				pct(res.agg.PhaseFraction(metrics.PhaseWrite)),
+				pct(res.agg.PhaseFraction(metrics.PhaseAbort)))
+		}
+	}
+	t.Print(o.Out)
+}
+
+// Fig20 reproduces Appendix G: the throughput effect of
+// validation-order rearrangement (THEDB vs the reversed-order
+// THEDB-W worst case vs THEDB-OCC).
+func Fig20(o Opts) {
+	o.Defaults()
+	systems := []System{THEDB, THEDBW, OCC}
+	t := &Table{
+		ID:     "fig20",
+		Title:  fmt.Sprintf("TPC-C throughput (K tps) vs #warehouses: order rearrangement, %d workers", o.Workers),
+		Header: append([]string{"#warehouses"}, systemNames(systems)...),
+		Notes: []string{
+			"paper: even worst-case THEDB-W beats OCC ~2x under contention; rearrangement adds ~25% on top",
+		},
+	}
+	for _, wh := range warehouseSweep(o) {
+		row := []string{fmt.Sprint(wh)}
+		for _, sys := range systems {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: wh,
+				mix: tpcc.StandardMix(), duration: o.Duration})
+			row = append(row, ktps(res.agg.TPS()))
+		}
+		t.AddRow(row...)
+	}
+	t.Print(o.Out)
+}
+
+// Table6 reproduces Appendix G's abort-rate table: deadlock-prevention
+// aborts of THEDB vs THEDB-W as workers scale (WH=4).
+func Table6(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "tab6",
+		Title:  "deadlock-prevention abort rate (restarts/committed), WH=4",
+		Header: []string{"workers", "THEDB", "THEDB-W"},
+		Notes: []string{
+			"paper: rearrangement keeps the rate under 0.01; the reversed order reaches 0.16 at full scale",
+		},
+	}
+	for _, wk := range workerSweep(o) {
+		a := runTPCC(tpccRun{system: THEDB, workers: wk, warehouses: 4,
+			mix: tpcc.StandardMix(), duration: o.Duration})
+		b := runTPCC(tpccRun{system: THEDBW, workers: wk, warehouses: 4,
+			mix: tpcc.StandardMix(), duration: o.Duration})
+		t.AddRow(fmt.Sprint(wk), f(a.agg.AbortRate()), f(b.agg.AbortRate()))
+	}
+	t.Print(o.Out)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(o Opts) {
+	for _, e := range Registry() {
+		e.Run(o)
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+func systemNames(ss []System) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// AblLockAttempts is an ablation beyond the paper: §4.2.2 notes the
+// no-wait membership-update policy "can be further optimized by
+// setting an upper bound controlling the maximum number of times the
+// lock request is attempted". This sweeps that bound under address
+// order (where membership updates actually collide) and reports
+// throughput and restart rate.
+func AblLockAttempts(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "xlock",
+		Title:  fmt.Sprintf("THEDB (address order): bounded no-wait lock attempts, WH=4, %d workers", o.Workers),
+		Header: []string{"max-attempts", "K tps", "restart-rate"},
+		Notes: []string{
+			"extension of §4.2.2: a few retries absorb transient lock holds; large bounds approach spinning",
+		},
+	}
+	for _, attempts := range []int{1, 2, 4, 16, 64} {
+		res := runTPCC(tpccRun{system: THEDB, workers: o.Workers, warehouses: 4,
+			mix: tpcc.StandardMix(), duration: o.Duration, maxLockAttempts: attempts,
+			addrOrder: true})
+		t.AddRow(fmt.Sprint(attempts), ktps(res.agg.TPS()), f(res.agg.AbortRate()))
+	}
+	t.Print(o.Out)
+}
+
+// AblInterleave reports the effect of the multicore-interleaving
+// emulation itself (methodology transparency, DESIGN.md §3): with
+// yields off, whole transactions run inside single scheduler slices
+// and conflicts almost disappear on a host with fewer cores than
+// workers.
+func AblInterleave(o Opts) {
+	o.Defaults()
+	t := &Table{
+		ID:     "xinterleave",
+		Title:  fmt.Sprintf("interleaving emulation on/off, WH=2, %d workers", o.Workers),
+		Header: []string{"system", "interleave", "K tps", "abort-rate"},
+		Notes: []string{
+			"without yields this host serializes transactions within scheduler slices; contention vanishes artificially",
+		},
+	}
+	for _, sys := range []System{THEDB, OCC} {
+		for _, off := range []bool{false, true} {
+			res := runTPCC(tpccRun{system: sys, workers: o.Workers, warehouses: 2,
+				mix: tpcc.StandardMix(), duration: o.Duration, noInterleave: off})
+			t.AddRow(sys.String(), fmt.Sprint(!off), ktps(res.agg.TPS()), f(res.agg.AbortRate()))
+		}
+	}
+	t.Print(o.Out)
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"thedb/internal/metrics"
+	"thedb/internal/wal"
+	"thedb/internal/workload/tpcc"
+)
+
+// Logging modes re-exported for the root benchmark package (which
+// cannot name internal/wal types in its own API surface cleanly).
+const (
+	ValueLoggingMode   = wal.ValueLogging
+	CommandLoggingMode = wal.CommandLogging
+)
+
+// PrepareTPCCAblation is PrepareTPCC for the Table 4 ablation: the
+// healing engine with the access cache and/or read copies disabled,
+// on the contention-free WH=workers layout.
+func PrepareTPCCAblation(workers int, mix tpcc.Mix, noAccessCache, noReadCopies bool) (run func(n int64) *metrics.Aggregate, cleanup func()) {
+	base := tpccRun{
+		system:        THEDB,
+		workers:       workers,
+		warehouses:    workers,
+		mix:           mix,
+		noAccessCache: noAccessCache,
+		noReadCopies:  noReadCopies,
+	}
+	inner, cleanup := prepareTPCC(base)
+	return func(n int64) *metrics.Aggregate {
+		r := base
+		r.txnLimit = n
+		return inner(r).agg
+	}, cleanup
+}
+
+// PrepareTPCCLogging is PrepareTPCC with durability enabled against
+// an in-memory sink (the paper's Appendix C setup).
+func PrepareTPCCLogging(workers, warehouses int, mode wal.Mode) (run func(n int64) *metrics.Aggregate, cleanup func()) {
+	base := tpccRun{
+		system:     THEDB,
+		workers:    workers,
+		warehouses: warehouses,
+		mix:        tpcc.StandardMix(),
+		logging:    true,
+		logMode:    mode,
+	}
+	inner, cleanup := prepareTPCC(base)
+	return func(n int64) *metrics.Aggregate {
+		r := base
+		r.txnLimit = n
+		return inner(r).agg
+	}, cleanup
+}

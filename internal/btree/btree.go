@@ -1,0 +1,264 @@
+// Package btree implements an ordered B+-tree with per-leaf version
+// counters, the structure THEDB uses for range-scanned indexes.
+//
+// Phantom protection (paper §4.7.2, following Silo): every structural
+// modification of a leaf — key insertion, key removal, or a split
+// that redistributes keys — increments that leaf's version counter.
+// A range scan reports the set of leaves it visited together with the
+// versions observed; the validation phase re-reads the versions and
+// treats any mismatch as a possible phantom, which the healing phase
+// resolves by re-executing the scan.
+package btree
+
+import (
+	"cmp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxKeys is the fan-out of both leaf and inner nodes.
+const maxKeys = 64
+
+// Leaf is an opaque handle to a leaf node, exposed so callers can
+// re-check its version during validation.
+type Leaf[K cmp.Ordered, V any] struct {
+	version atomic.Uint64
+	keys    []K
+	vals    []V
+	next    *Leaf[K, V]
+}
+
+// Version returns the leaf's current structural version. It may be
+// called without holding any tree lock.
+func (l *Leaf[K, V]) Version() uint64 { return l.version.Load() }
+
+type inner[K cmp.Ordered, V any] struct {
+	// keys[i] is the smallest key reachable via children[i+1].
+	keys     []K
+	children []any // *inner or *Leaf
+}
+
+// Tree is a concurrency-safe ordered map. Mutations take the tree
+// write lock; lookups and scans take the read lock. Leaf versions may
+// be re-read lock-free afterwards.
+type Tree[K cmp.Ordered, V any] struct {
+	mu   sync.RWMutex
+	root any // *inner or *Leaf
+	size int
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return &Tree[K, V]{root: &Leaf[K, V]{}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[K, V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Get returns the value stored under k.
+func (t *Tree[K, V]) Get(k K) (V, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l := t.leafFor(k)
+	i, ok := search(l.keys, k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return l.vals[i], true
+}
+
+// GetWithLeaf returns the value stored under k along with the leaf
+// that holds (or would hold) k and the leaf version observed, for
+// callers that need phantom protection on point misses.
+func (t *Tree[K, V]) GetWithLeaf(k K) (v V, ok bool, leaf *Leaf[K, V], version uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l := t.leafFor(k)
+	ver := l.version.Load()
+	i, found := search(l.keys, k)
+	if !found {
+		var zero V
+		return zero, false, l, ver
+	}
+	return l.vals[i], true, l, ver
+}
+
+// Insert stores v under k, replacing any existing value. It reports
+// whether a new key was added.
+func (t *Tree[K, V]) Insert(k K, v V) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	splitKey, splitNode, added := t.insert(t.root, k, v)
+	if splitNode != nil {
+		t.root = &inner[K, V]{
+			keys:     []K{splitKey},
+			children: []any{t.root, splitNode},
+		}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Delete removes k, reporting whether it was present. Leaves are not
+// merged; an emptied leaf stays in place (its version is bumped so
+// concurrent scans revalidate), which keeps deletion simple and safe.
+func (t *Tree[K, V]) Delete(k K) bool {
+	return t.DeleteIf(k, nil)
+}
+
+// DeleteIf removes k only when pred(v) holds for the stored value
+// (nil pred always removes), evaluated under the tree lock. Garbage
+// collection uses this to avoid evicting an index entry that a
+// concurrent insert re-created for the same key.
+func (t *Tree[K, V]) DeleteIf(k K, pred func(V) bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.leafFor(k)
+	i, ok := search(l.keys, k)
+	if !ok || (pred != nil && !pred(l.vals[i])) {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	l.version.Add(1)
+	t.size--
+	return true
+}
+
+// ScanRef is one (leaf, version) observation made by a range scan,
+// recorded in the caller's read set for phantom validation.
+type ScanRef[K cmp.Ordered, V any] struct {
+	Leaf    *Leaf[K, V]
+	Version uint64
+}
+
+// Changed reports whether the leaf has been structurally modified
+// since the scan observed it.
+func (r ScanRef[K, V]) Changed() bool { return r.Leaf.Version() != r.Version }
+
+// Scan visits all pairs with lo <= key <= hi in ascending order,
+// calling fn for each; fn returning false stops the scan. It returns
+// the leaf/version observations covering the scanned range, including
+// boundary leaves, so a later insert into the range is detectable.
+func (t *Tree[K, V]) Scan(lo, hi K, fn func(k K, v V) bool) []ScanRef[K, V] {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var refs []ScanRef[K, V]
+	l := t.leafFor(lo)
+	for l != nil {
+		refs = append(refs, ScanRef[K, V]{Leaf: l, Version: l.version.Load()})
+		for i, k := range l.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return refs
+			}
+			if !fn(k, l.vals[i]) {
+				return refs
+			}
+		}
+		if n := len(l.keys); n > 0 && l.keys[n-1] > hi {
+			return refs
+		}
+		l = l.next
+	}
+	return refs
+}
+
+// Min returns the smallest key/value at or above lo, if any, plus the
+// observation of the leaf examined (for phantom-safe "oldest entry"
+// lookups such as TPC-C Delivery's NEW-ORDER probe).
+func (t *Tree[K, V]) Min(lo, hi K) (k K, v V, ok bool, refs []ScanRef[K, V]) {
+	refs = t.Scan(lo, hi, func(fk K, fv V) bool {
+		k, v, ok = fk, fv, true
+		return false
+	})
+	return k, v, ok, refs
+}
+
+func (t *Tree[K, V]) leafFor(k K) *Leaf[K, V] {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *Leaf[K, V]:
+			return x
+		case *inner[K, V]:
+			i := sort.Search(len(x.keys), func(i int) bool { return k < x.keys[i] })
+			n = x.children[i]
+		}
+	}
+}
+
+// insert descends recursively; when a child splits it returns the
+// separator key and new right sibling for the parent to absorb.
+func (t *Tree[K, V]) insert(n any, k K, v V) (splitKey K, splitNode any, added bool) {
+	switch x := n.(type) {
+	case *Leaf[K, V]:
+		i, ok := search(x.keys, k)
+		if ok {
+			x.vals[i] = v
+			x.version.Add(1)
+			return splitKey, nil, false
+		}
+		x.keys = append(x.keys, k)
+		copy(x.keys[i+1:], x.keys[i:])
+		x.keys[i] = k
+		var zero V
+		x.vals = append(x.vals, zero)
+		copy(x.vals[i+1:], x.vals[i:])
+		x.vals[i] = v
+		x.version.Add(1)
+		if len(x.keys) > maxKeys {
+			mid := len(x.keys) / 2
+			right := &Leaf[K, V]{next: x.next}
+			right.keys = append(right.keys, x.keys[mid:]...)
+			right.vals = append(right.vals, x.vals[mid:]...)
+			x.keys = x.keys[:mid:mid]
+			x.vals = x.vals[:mid:mid]
+			x.next = right
+			x.version.Add(1)
+			right.version.Add(1)
+			return right.keys[0], right, true
+		}
+		return splitKey, nil, true
+	case *inner[K, V]:
+		i := sort.Search(len(x.keys), func(i int) bool { return k < x.keys[i] })
+		sk, sn, add := t.insert(x.children[i], k, v)
+		if sn != nil {
+			x.keys = append(x.keys, sk)
+			copy(x.keys[i+1:], x.keys[i:])
+			x.keys[i] = sk
+			x.children = append(x.children, nil)
+			copy(x.children[i+2:], x.children[i+1:])
+			x.children[i+1] = sn
+			if len(x.keys) > maxKeys {
+				mid := len(x.keys) / 2
+				sepKey := x.keys[mid]
+				right := &inner[K, V]{}
+				right.keys = append(right.keys, x.keys[mid+1:]...)
+				right.children = append(right.children, x.children[mid+1:]...)
+				x.keys = x.keys[:mid:mid]
+				x.children = x.children[: mid+1 : mid+1]
+				return sepKey, right, add
+			}
+		}
+		return splitKey, nil, add
+	}
+	panic("btree: unknown node type")
+}
+
+// search returns the position of k in keys (found) or its insertion
+// point (not found).
+func search[K cmp.Ordered](keys []K, k K) (int, bool) {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	return i, i < len(keys) && keys[i] == k
+}

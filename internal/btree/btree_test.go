@@ -1,0 +1,336 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[uint64, int]()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(uint64(i*7%n), i) {
+			t.Fatalf("insert %d reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(uint64(i))
+		if !ok {
+			t.Fatalf("missing key %d", i)
+		}
+		if uint64(v*7%n) != uint64(i) {
+			t.Fatalf("key %d has value %d", i, v)
+		}
+	}
+	if _, ok := tr.Get(n + 1); ok {
+		t.Fatal("found key that was never inserted")
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len after deletes = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(uint64(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr := New[uint64, string]()
+	tr.Insert(1, "a")
+	if tr.Insert(1, "b") {
+		t.Fatal("second insert of same key reported new")
+	}
+	if v, _ := tr.Get(1); v != "b" {
+		t.Fatalf("value = %q, want b", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	tr := New[uint64, int]()
+	keys := rand.New(rand.NewSource(1)).Perm(2000)
+	for _, k := range keys {
+		tr.Insert(uint64(k*3), k)
+	}
+	var got []uint64
+	tr.Scan(300, 2400, func(k uint64, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	for _, k := range got {
+		if k < 300 || k > 2400 || k%3 != 0 {
+			t.Fatalf("scan returned out-of-range key %d", k)
+		}
+	}
+	want := 0
+	for _, k := range keys {
+		if u := uint64(k * 3); u >= 300 && u <= 2400 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("scan returned %d keys, want %d", len(got), want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < 100; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	n := 0
+	tr.Scan(0, 99, func(uint64, int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestLeafVersionBumpsOnInsert(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert(uint64(i*10), i)
+	}
+	refs := tr.Scan(0, 1000, func(uint64, int) bool { return true })
+	if len(refs) == 0 {
+		t.Fatal("no leaf refs")
+	}
+	for _, r := range refs {
+		if r.Changed() {
+			t.Fatal("leaf changed before any modification")
+		}
+	}
+	tr.Insert(55, 55) // lands inside the scanned range
+	changed := false
+	for _, r := range refs {
+		if r.Changed() {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("insert into scanned range not detected by leaf versions (phantom!)")
+	}
+}
+
+func TestLeafVersionBumpsOnDelete(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	refs := tr.Scan(0, 9, func(uint64, int) bool { return true })
+	tr.Delete(5)
+	changed := false
+	for _, r := range refs {
+		if r.Changed() {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("delete inside scanned range not detected")
+	}
+}
+
+func TestVersionStableOutsideRange(t *testing.T) {
+	tr := New[uint64, int]()
+	// Two far-apart clusters so they land in different leaves.
+	for i := 0; i < 200; i++ {
+		tr.Insert(uint64(i), i)
+		tr.Insert(uint64(100000+i), i)
+	}
+	refs := tr.Scan(0, 199, func(uint64, int) bool { return true })
+	tr.Insert(150000, 1) // far outside the scanned range
+	for _, r := range refs {
+		if r.Changed() {
+			t.Fatal("insert far outside range bumped a scanned leaf")
+		}
+	}
+}
+
+func TestDeleteIf(t *testing.T) {
+	tr := New[uint64, int]()
+	tr.Insert(1, 10)
+	if tr.DeleteIf(1, func(v int) bool { return v == 99 }) {
+		t.Fatal("DeleteIf removed despite failing predicate")
+	}
+	if _, ok := tr.Get(1); !ok {
+		t.Fatal("key vanished")
+	}
+	if !tr.DeleteIf(1, func(v int) bool { return v == 10 }) {
+		t.Fatal("DeleteIf refused matching predicate")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("key survived DeleteIf")
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New[uint64, int]()
+	for _, k := range []uint64{50, 10, 90, 30} {
+		tr.Insert(k, int(k))
+	}
+	k, v, ok, _ := tr.Min(20, 80)
+	if !ok || k != 30 || v != 30 {
+		t.Fatalf("Min(20,80) = %d,%d,%v", k, v, ok)
+	}
+	_, _, ok, _ = tr.Min(91, 100)
+	if ok {
+		t.Fatal("Min found a key in an empty range")
+	}
+}
+
+// TestQuickAgainstMap drives random operation sequences against a
+// reference map (property-based, testing/quick).
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  int
+	}
+	check := func(ops []op) bool {
+		tr := New[uint64, int]()
+		ref := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			switch o.Kind % 3 {
+			case 0:
+				tr.Insert(k, o.Val)
+				ref[k] = o.Val
+			case 1:
+				got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, ok := tr.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Full scan must enumerate exactly the reference contents in
+		// order.
+		var keys []uint64
+		tr.Scan(0, 1<<63, func(k uint64, v int) bool {
+			if rv, ok := ref[k]; !ok || rv != v {
+				t.Logf("scan mismatch at %d", k)
+				return false
+			}
+			keys = append(keys, k)
+			return true
+		})
+		return len(keys) == len(ref) && sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(i*2), i)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := uint64(rng.Intn(1500))
+				prev := uint64(0)
+				tr.Scan(lo, lo+100, func(k uint64, _ int) bool {
+					if k < prev {
+						t.Error("scan went backwards under concurrency")
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(i*2+1), i)
+		if i%3 == 0 {
+			tr.Delete(uint64(i * 2))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestShardedOrderedAcrossShards(t *testing.T) {
+	s := NewSharded[int](8) // shards cover 256-key ranges
+	keys := rand.New(rand.NewSource(2)).Perm(4096)
+	for _, k := range keys {
+		s.Insert(uint64(k), k)
+	}
+	if s.Len() != 4096 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	var got []uint64
+	s.Scan(100, 3000, func(k uint64, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2901 {
+		t.Fatalf("scan count = %d, want 2901", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("cross-shard scan out of order")
+	}
+}
+
+func TestShardedMinAndDelete(t *testing.T) {
+	s := NewSharded[int](4)
+	for _, k := range []uint64{100, 17, 63, 900} {
+		s.Insert(k, int(k))
+	}
+	k, _, ok, _ := s.Min(18, 1000)
+	if !ok || k != 63 {
+		t.Fatalf("Min = %d, %v", k, ok)
+	}
+	if !s.Delete(63) {
+		t.Fatal("delete failed")
+	}
+	k, _, ok, _ = s.Min(18, 1000)
+	if !ok || k != 100 {
+		t.Fatalf("Min after delete = %d, %v", k, ok)
+	}
+	if v, ok := s.Get(17); !ok || v != 17 {
+		t.Fatal("Get(17) failed")
+	}
+}

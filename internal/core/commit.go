@@ -1,0 +1,87 @@
+package core
+
+import "thedb/internal/wal"
+
+// commit is Algorithm 3: compute the commit timestamp, install the
+// buffered writes, stamp and log them, then release locks and pins.
+// The caller must hold the locks required by its protocol (all
+// elements for healing/OCC, the write set for Silo, 2PL locks for
+// TPL).
+func (t *Txn) commit(procName string) error {
+	// (a) the commit timestamp must exceed the timestamp of every
+	// record read or written; (b) it must exceed the worker's last;
+	// (c) its high half carries at least the current global epoch.
+	var maxSeen uint64
+	for _, el := range t.rw.elems {
+		if el.removed {
+			continue
+		}
+		if ts := el.rec.Timestamp(); ts > maxSeen {
+			maxSeen = ts
+		}
+	}
+	w := t.w
+	ts := nextCommitTS(w.id, len(t.e.workers), w.lastTS, maxSeen, t.e.epoch.Current())
+	w.lastTS = ts
+
+	logging := w.wlog != nil
+	if logging {
+		if err := w.wlog.BeginCommit(ts); err != nil {
+			return err
+		}
+	}
+	valueLog := logging && t.e.opts.Logger.Mode() == wal.ValueLogging
+
+	for _, el := range t.rw.elems {
+		if el.removed || !el.hasWrites() {
+			continue
+		}
+		rec := el.rec
+		switch {
+		case el.isDelete:
+			rec.SetVisible(false)
+			rec.SetTimestamp(ts)
+			t.e.gc.Retire(rec)
+			if valueLog {
+				if err := w.wlog.LogDelete(ts, el.tab.ID(), rec.Key()); err != nil {
+					return err
+				}
+			}
+		case el.isInsert:
+			tuple := el.applyWrites(el.insertTuple)
+			rec.SetTuple(tuple)
+			rec.SetTimestamp(ts)
+			rec.SetVisible(true)
+			el.tab.IndexSecondaries(rec, tuple)
+			if valueLog {
+				if err := w.wlog.LogInsert(ts, el.tab.ID(), rec.Key(), tuple); err != nil {
+					return err
+				}
+			}
+		default:
+			old := rec.Tuple()
+			tuple := el.applyWrites(old)
+			rec.SetTuple(tuple)
+			rec.SetTimestamp(ts)
+			el.tab.ReindexSecondaries(rec, old, tuple)
+			if valueLog {
+				cols, vals := el.writeColumns()
+				if err := w.wlog.LogWrite(ts, el.tab.ID(), rec.Key(), cols, vals); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if logging {
+		if !valueLog {
+			if err := w.wlog.LogCommand(ts, procName, w.curArgs); err != nil {
+				return err
+			}
+		}
+		if err := w.wlog.EndCommit(ts); err != nil {
+			return err
+		}
+	}
+	t.finish(true)
+	return nil
+}

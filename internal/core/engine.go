@@ -1,0 +1,276 @@
+// Package core implements THEDB's transaction engine: the
+// transaction-healing protocol (the paper's contribution) plus the
+// baseline protocols the evaluation compares against — conventional
+// OCC, Silo's OCC variant, no-wait two-phase locking, and the
+// OCC→2PL hybrid — all over the same storage, index, procedure and
+// logging substrate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"thedb/internal/metrics"
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+	"thedb/internal/wal"
+)
+
+// Protocol selects the concurrency-control mechanism of an engine.
+type Protocol int
+
+// The protocols evaluated in the paper (§5).
+const (
+	// Healing is the paper's transaction-healing protocol (THEDB).
+	Healing Protocol = iota
+	// OCC is conventional optimistic concurrency control with
+	// Silo-style timestamp allocation and abort-and-restart
+	// (THEDB-OCC).
+	OCC
+	// Silo is Silo's commit protocol: only the write set is locked,
+	// reads validate unlocked (THEDB-SILO).
+	Silo
+	// TPL is two-phase locking with no-wait deadlock prevention
+	// (THEDB-2PL).
+	TPL
+	// Hybrid runs OCC and switches to 2PL after a validation abort
+	// (THEDB-HYBRID).
+	Hybrid
+	// OCCNoValidate disables OCC's validation phase: transactions
+	// never abort but results may be non-serializable. It measures
+	// peak attainable throughput (THEDB-OCC⁻, Fig. 8).
+	OCCNoValidate
+	// SiloNoValidate is the Silo analogue (THEDB-SILO⁻).
+	SiloNoValidate
+)
+
+// String names the protocol as the paper does.
+func (p Protocol) String() string {
+	switch p {
+	case Healing:
+		return "THEDB"
+	case OCC:
+		return "THEDB-OCC"
+	case Silo:
+		return "THEDB-SILO"
+	case TPL:
+		return "THEDB-2PL"
+	case Hybrid:
+		return "THEDB-HYBRID"
+	case OCCNoValidate:
+		return "THEDB-OCC-"
+	case SiloNoValidate:
+		return "THEDB-SILO-"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// OrderMode selects the global validation (lock-acquisition) order.
+type OrderMode int
+
+// Validation orders (§4.2.1, §4.5, Appendix G).
+const (
+	// AddrOrder sorts read/write-set elements by record address
+	// alone, the conventional global order.
+	AddrOrder OrderMode = iota
+	// TreeOrder sorts by (schema-tree rank, address): tables closer
+	// to the schema root validate first, so key-dependent membership
+	// updates insert elements after the frontier and deadlock-
+	// prevention aborts become rare (§4.5).
+	TreeOrder
+	// ReverseTreeOrder reverses the rank comparison — the worst case
+	// construction of Appendix G (THEDB-W).
+	ReverseTreeOrder
+)
+
+// Options configures an engine.
+type Options struct {
+	// Protocol selects the concurrency-control mechanism.
+	Protocol Protocol
+
+	// Workers is the number of execution threads the engine serves.
+	Workers int
+
+	// Order selects the validation order (TreeOrder by default for
+	// the healing protocol, AddrOrder otherwise).
+	Order OrderMode
+
+	// orderSet records whether Order was set explicitly.
+	OrderSet bool
+
+	// EpochInterval is the period of the global epoch advancer
+	// (default 10ms, §4.3).
+	EpochInterval time.Duration
+
+	// NoAccessCache disables the per-operation access cache (Table 4
+	// ablation), making the healing protocol fall back to
+	// abort-and-restart on validation failure.
+	NoAccessCache bool
+
+	// NoReadCopies disables the per-read column copies, and with
+	// them false-invalidation elimination (§4.5, Table 4 ablation).
+	NoReadCopies bool
+
+	// MaxLockAttempts bounds lock-acquisition attempts during
+	// healing membership updates before the no-wait policy aborts
+	// (§4.2.2 suggests such an upper bound; 1 = pure no-wait).
+	MaxLockAttempts int
+
+	// DetailedMetrics enables per-phase timing (Fig. 19). Costs two
+	// clock reads per phase; latency histograms are always on.
+	DetailedMetrics bool
+
+	// Interleave yields the scheduler after every operation of the
+	// read phase. On a machine with fewer cores than workers this
+	// emulates the fine-grained interleaving a real multicore
+	// produces: without it a goroutine runs whole transactions
+	// inside one scheduler slice and cross-transaction conflicts
+	// almost never materialize (see DESIGN.md §3). Benchmarks enable
+	// it; unit tests of logic paths usually do not need it.
+	Interleave bool
+
+	// Logger, when non-nil, receives the commit log (Appendix C).
+	Logger *wal.Logger
+}
+
+// defaults fills unset fields.
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.EpochInterval <= 0 {
+		o.EpochInterval = 10 * time.Millisecond
+	}
+	if o.MaxLockAttempts <= 0 {
+		o.MaxLockAttempts = 4
+	}
+	if !o.OrderSet {
+		if o.Protocol == Healing {
+			o.Order = TreeOrder
+		} else {
+			o.Order = AddrOrder
+		}
+	}
+}
+
+// Engine executes transactions over a catalog under one protocol.
+type Engine struct {
+	opts    Options
+	catalog *storage.Catalog
+	gc      *storage.GC
+	gcKick  func()
+	epoch   *EpochManager
+	specs   map[string]*proc.Spec
+	workers []*Worker
+}
+
+// NewEngine builds an engine over the catalog.
+func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
+	opts.defaults()
+	e := &Engine{
+		opts:    opts,
+		catalog: catalog,
+		gc:      storage.NewGC(catalog),
+		specs:   make(map[string]*proc.Spec),
+	}
+	e.epoch = NewEpochManager(opts.EpochInterval)
+	for i := 0; i < opts.Workers; i++ {
+		e.workers = append(e.workers, newWorker(e, i))
+	}
+	return e
+}
+
+// Start launches the epoch advancer and garbage collector.
+func (e *Engine) Start() {
+	e.gcKick = e.gc.Start()
+	e.epoch.Start(func(uint32) {
+		if e.gcKick != nil {
+			e.gcKick()
+		}
+	})
+}
+
+// Stop halts background services and flushes the log.
+func (e *Engine) Stop() {
+	e.epoch.Stop()
+	e.gc.Stop()
+	if e.opts.Logger != nil {
+		_ = e.opts.Logger.Close()
+	}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// GC returns the garbage collector (tests, maintenance).
+func (e *Engine) GC() *storage.GC { return e.gc }
+
+// Epoch returns the epoch manager.
+func (e *Engine) Epoch() *EpochManager { return e.epoch }
+
+// Register adds a stored procedure.
+func (e *Engine) Register(spec *proc.Spec) error {
+	if _, dup := e.specs[spec.Name]; dup {
+		return fmt.Errorf("core: procedure %q already registered", spec.Name)
+	}
+	e.specs[spec.Name] = spec
+	return nil
+}
+
+// MustRegister is Register panicking on duplicates.
+func (e *Engine) MustRegister(spec *proc.Spec) {
+	if err := e.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Spec returns a registered procedure.
+func (e *Engine) Spec(name string) (*proc.Spec, bool) {
+	s, ok := e.specs[name]
+	return s, ok
+}
+
+// Worker returns execution context i. Each worker must be driven by
+// at most one goroutine at a time.
+func (e *Engine) Worker(i int) *Worker { return e.workers[i] }
+
+// Workers returns the number of workers.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Metrics merges all workers' collectors, attributing the given wall
+// time.
+func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
+	ws := make([]*metrics.Worker, len(e.workers))
+	for i, w := range e.workers {
+		ws[i] = &w.m
+	}
+	return metrics.Merge(wall, ws)
+}
+
+// ResetMetrics clears all workers' collectors (between benchmark
+// phases).
+func (e *Engine) ResetMetrics() {
+	for _, w := range e.workers {
+		w.m = metrics.Worker{}
+	}
+}
+
+// Errors reported by the engine.
+var (
+	// ErrAborted reports a permanent abort: deadlock prevention
+	// during healing membership update (§4.2.2) or an insert
+	// integrity violation (§4.7.1).
+	ErrAborted = errors.New("transaction aborted")
+
+	// ErrNoSuchProc reports an unregistered procedure name.
+	ErrNoSuchProc = errors.New("no such procedure")
+
+	// errRestart is the internal signal that the current attempt
+	// must be retried from scratch.
+	errRestart = errors.New("restart transaction")
+)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"thedb/internal/storage"
+)
+
+// EpochManager advances the global epoch number that forms the high
+// half of every commit timestamp (§4.3). A designated goroutine bumps
+// the epoch periodically; transactions committed within one epoch are
+// group-committed together by the logging layer.
+type EpochManager struct {
+	cur      atomic.Uint32
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewEpochManager builds a manager that advances every interval.
+func NewEpochManager(interval time.Duration) *EpochManager {
+	m := &EpochManager{interval: interval}
+	m.cur.Store(1) // epoch 0 is reserved for load-time records
+	return m
+}
+
+// Current returns the global epoch.
+func (m *EpochManager) Current() uint32 { return m.cur.Load() }
+
+// Advance bumps the epoch once (tests and manual control).
+func (m *EpochManager) Advance() uint32 { return m.cur.Add(1) }
+
+// Start launches the advancer; onAdvance (optional) runs after each
+// bump on the advancer goroutine.
+func (m *EpochManager) Start(onAdvance func(epoch uint32)) {
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				e := m.cur.Add(1)
+				if onAdvance != nil {
+					onAdvance(e)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the advancer.
+func (m *EpochManager) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+	m.stop = nil
+}
+
+// nextCommitTS computes a worker's commit timestamp per §4.3: the
+// smallest timestamp that (a) exceeds the timestamp of every record
+// the transaction read or wrote, (b) exceeds the worker's previous
+// commit timestamp, (c) carries at least the current global epoch in
+// its high half, and (d) whose sequence half falls in the worker's
+// residue class (worker i of n draws sequences i, i+n, i+2n, ...).
+func nextCommitTS(workerID, workers int, lastTS, maxSeen uint64, epoch uint32) uint64 {
+	cand := maxSeen + 1
+	if lastTS+1 > cand {
+		cand = lastTS + 1
+	}
+	if floor := storage.MakeTS(epoch, 0); floor > cand {
+		cand = floor
+	}
+	e, s := storage.SplitTS(cand)
+	// Round the sequence half up to the worker's residue class.
+	n := uint32(workers)
+	w := uint32(workerID)
+	rem := s % n
+	var seq uint32
+	switch {
+	case rem == w:
+		seq = s
+	case rem < w:
+		seq = s + (w - rem)
+	default:
+		seq = s + (n - rem + w)
+	}
+	if seq < s { // overflowed uint32: move to the next epoch
+		e++
+		seq = w
+	}
+	return storage.MakeTS(e, seq)
+}

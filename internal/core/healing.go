@@ -1,0 +1,329 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// validateAndCommitHealing runs the paper's Algorithm 1: lock the
+// read/write set in the global validation order, validate each
+// read-accessed element, and invoke the healing phase on any
+// inconsistency instead of aborting. Afterwards it validates the node
+// set (phantoms, §4.7.2) and commits.
+//
+// For independent transactions (§4.6) the effect is the merged
+// validate+write fast path: with no key dependencies the membership
+// never changes, healing cannot abort, and the transaction is
+// guaranteed to commit.
+func (t *Txn) validateAndCommitHealing(procName string) error {
+	if err := t.validateHealing(); err != nil {
+		return err
+	}
+	return t.commit(procName)
+}
+
+// validateHealing is Algorithm 1 without the write phase, so the
+// caller can account validation/healing and write time separately.
+func (t *Txn) validateHealing() error {
+	t.rw.sortFor(t.e.opts.Order)
+	for t.frontier = 0; t.frontier < len(t.rw.elems); t.frontier++ {
+		el := t.rw.elems[t.frontier]
+		if el.locked {
+			// Locked during a membership update; its content was
+			// (re)read under the lock, hence consistent.
+			continue
+		}
+		if el.removed {
+			continue
+		}
+		t.lockElement(el)
+		if el.isInsert {
+			// §4.7.1 scenario 3: another transaction committed into
+			// our dummy slot first; genuine duplicates abort, stale
+			// keys restart (the stale source heals first under tree
+			// order, replacing this element before we reach it).
+			if err := t.checkInsertElement(el); err != nil {
+				return err
+			}
+			continue
+		}
+		if el.mode&ModeRead == 0 {
+			continue
+		}
+		ts, _, vis := el.rec.Meta()
+		if ts == el.rts {
+			continue
+		}
+		// Inconsistent read. First dismiss false invalidations
+		// (§4.5): a concurrent write that did not touch the columns
+		// we read.
+		if vis == el.seenVisible && el.falseInvalidation(el.rec.Tuple()) {
+			el.rts = ts
+			t.w.m.FalseInval++
+			continue
+		}
+		if !t.canHeal() {
+			return errRestart
+		}
+		if err := t.heal(el); err != nil {
+			return err
+		}
+	}
+	t.frontier = len(t.rw.elems)
+
+	// Node-set validation: structural index changes in scanned
+	// ranges are healed by re-executing the scan operation. Healing
+	// may add scans, so iterate to a fixpoint (bounded; beyond the
+	// bound abort-and-restart is always safe).
+	for round := 0; ; round++ {
+		if round > 64 {
+			return errRestart
+		}
+		changed := false
+		for i := 0; i < len(t.rw.scans); i++ {
+			sa := t.rw.scans[i]
+			if sa.removed || !sa.changed() {
+				continue
+			}
+			changed = true
+			if !t.canHeal() {
+				return errRestart
+			}
+			if err := t.healFromOp(sa.op); err != nil {
+				return err
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}
+
+// canHeal reports whether the healing machinery is available: the
+// access cache must be maintained (Table 4 ablation turns it off) and
+// the transaction must not be ad-hoc (§4.8).
+func (t *Txn) canHeal() bool { return t.trackAccesses() }
+
+// restoreKind says how an operation must be restored.
+type restoreKind uint8
+
+const (
+	restoreReplay restoreKind = iota // value-dependent: cached access set
+	restoreReexec                    // key-dependent: fresh index lookups
+)
+
+// healQueue is a min-heap of operations ordered by bookmark (program
+// order). Because dependency edges always point forward in program
+// order, popping in ID order guarantees every parent is restored
+// before any of its children, so each operation is restored exactly
+// once per healing pass (§4.2.2).
+type healQueue struct {
+	runs []*OpRun
+	kind map[*OpRun]restoreKind
+}
+
+func (h *healQueue) Len() int           { return len(h.runs) }
+func (h *healQueue) Less(i, j int) bool { return h.runs[i].op.ID < h.runs[j].op.ID }
+func (h *healQueue) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *healQueue) Push(x any)         { h.runs = append(h.runs, x.(*OpRun)) }
+func (h *healQueue) Pop() (x any)       { n := len(h.runs); x, h.runs = h.runs[n-1], h.runs[:n-1]; return x }
+func (h *healQueue) push(r *OpRun, k restoreKind) {
+	if prev, queued := h.kind[r]; queued {
+		if k > prev {
+			h.kind[r] = k
+		}
+		return
+	}
+	h.kind[r] = k
+	heap.Push(h, r)
+}
+
+// heal is Algorithm 2: restore the non-serializable operations
+// reachable from the inconsistent element el through the program
+// dependency graph. The caller holds el's record lock.
+func (t *Txn) heal(el *Element) error {
+	if t.e.opts.DetailedMetrics {
+		defer t.timeHeal()()
+	}
+	t.w.m.Heals++
+	// Reload the inconsistent element under its lock: this is the
+	// restoration basis for the bookmarked operation(s).
+	el.rts, _, el.seenVisible = el.rec.Meta()
+	el.refreshCopies(el.rec.Tuple())
+
+	q := &healQueue{kind: make(map[*OpRun]restoreKind)}
+	for _, run := range el.bookmarks {
+		q.push(run, restoreReplay)
+	}
+	return t.drainHealQueue(q)
+}
+
+// healFromOp heals starting from a single operation that must be
+// re-executed (phantom repair of a scan).
+func (t *Txn) healFromOp(run *OpRun) error {
+	if t.e.opts.DetailedMetrics {
+		defer t.timeHeal()()
+	}
+	t.w.m.Heals++
+	q := &healQueue{kind: make(map[*OpRun]restoreKind)}
+	q.push(run, restoreReexec)
+	return t.drainHealQueue(q)
+}
+
+// timeHeal accrues wall time spent inside healing into the
+// transaction's heal-duration counter (Fig. 19 accounting).
+func (t *Txn) timeHeal() func() {
+	start := time.Now()
+	return func() { t.healDur += time.Since(start) }
+}
+
+func (t *Txn) drainHealQueue(q *healQueue) error {
+	for q.Len() > 0 {
+		run := heap.Pop(q).(*OpRun)
+		kind := q.kind[run]
+		delete(q.kind, run)
+		if err := t.restore(run, kind, q); err != nil {
+			return err
+		}
+		t.w.m.HealedOps++
+		t.healOps++
+		for _, c := range run.op.KeyChildren() {
+			q.push(t.runs[c.ID], restoreReexec)
+		}
+		for _, c := range run.op.ValChildren() {
+			q.push(t.runs[c.ID], restoreReplay)
+		}
+	}
+	t.mode = modeExec
+	return nil
+}
+
+// restore re-runs one operation. Value-dependent restoration replays
+// against the cached access set (no index lookups); key-dependent
+// restoration re-executes with fresh lookups and reconciles the
+// read/write-set membership.
+//
+// Whenever restoration changes an element's buffered effects, the
+// operations that later *read* that element through the database are
+// non-serializable too — these read-after-write flows do not appear
+// in the variable-level dependency graph, so restore enqueues the
+// affected readers explicitly (notifyReaders).
+func (t *Txn) restore(run *OpRun, kind restoreKind, q *healQueue) error {
+	t.cur = run
+	t.nacc = 0
+	if kind == restoreReplay {
+		// Retract the op's buffered writes; the replayed body
+		// re-buffers them at their original fold positions.
+		t.retractWrites(run)
+		t.mode = modeReplay
+		t.cursor = 0
+		err := run.op.Body(t)
+		if err == nil && t.cursor != len(run.accesses) {
+			// The healed control flow performed fewer accesses than
+			// the cached pattern: divergence.
+			err = errDiverged
+		}
+		if errors.Is(err, errDiverged) {
+			return errRestart
+		}
+		if err == nil {
+			t.notifyReaders(run, q)
+		}
+		return err
+	}
+
+	// Key-dependent re-execution: retract every access the op made
+	// (including its buffered writes — the retraction must happen
+	// while the access list is still populated), run it afresh, then
+	// drop elements that left the footprint.
+	t.retractWrites(run)
+	// Readers of the elements whose buffered effects we just
+	// retracted see different values now.
+	t.notifyReaders(run, q)
+	old := run.accesses
+	run.accesses = nil
+	for i := range old {
+		a := &old[i]
+		switch a.kind {
+		case accessPoint:
+			a.elem.uses--
+			removeBookmark(a.elem, run)
+		case accessScan:
+			a.scan.removed = true
+			for _, sel := range a.scanElems {
+				sel.uses--
+				removeBookmark(sel, run)
+			}
+		}
+	}
+	t.mode = modeReexec
+	err := run.op.Body(t)
+	if err == nil {
+		t.notifyReaders(run, q)
+	}
+	// Reconcile: elements no longer referenced by any access entry
+	// leave the read/write set (§4.2.2 membership update). They stay
+	// in the slice (and keep their lock if held — releasing early
+	// would weaken two-phase locking) but are skipped everywhere.
+	for i := range old {
+		a := &old[i]
+		drop := func(el *Element) {
+			if el.uses == 0 && !el.removed {
+				el.removed = true
+				el.isInsert = false
+				el.isDelete = false
+				el.insertTuple = nil
+				el.writes = el.writes[:0]
+			}
+		}
+		if a.kind == accessPoint {
+			drop(a.elem)
+		} else {
+			for _, sel := range a.scanElems {
+				drop(sel)
+			}
+		}
+	}
+	return err
+}
+
+// notifyReaders enqueues, for every element run wrote (buffered
+// effects in run.accesses), the bookmarked operations that read the
+// element later in program order.
+func (t *Txn) notifyReaders(run *OpRun, q *healQueue) {
+	for i := range run.accesses {
+		a := &run.accesses[i]
+		if a.kind != accessPoint || !a.isWrite || a.elem == nil {
+			continue
+		}
+		for _, reader := range a.elem.bookmarks {
+			if reader.op.ID > run.op.ID {
+				q.push(reader, restoreReplay)
+			}
+		}
+	}
+}
+
+// retractWrites removes run's buffered writes from every element it
+// wrote.
+func (t *Txn) retractWrites(run *OpRun) {
+	seen := map[*Element]bool{}
+	for i := range run.accesses {
+		a := &run.accesses[i]
+		if a.kind == accessPoint && a.elem != nil && !seen[a.elem] {
+			seen[a.elem] = true
+			a.elem.dropWrites(run.op.ID)
+		}
+	}
+}
+
+func removeBookmark(el *Element, run *OpRun) {
+	for i, b := range el.bookmarks {
+		if b == run {
+			el.bookmarks = append(el.bookmarks[:i], el.bookmarks[i+1:]...)
+			return
+		}
+	}
+}

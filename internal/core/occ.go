@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"thedb/internal/proc"
+)
+
+// validateOCC is the conventional OCC validation phase (THEDB-OCC,
+// §5): lock every read/write-set element in the global address order,
+// compare each read element's current timestamp against its
+// R-timestamp, and signal abort-and-restart on any mismatch. With
+// novalidate (THEDB-OCC⁻) the consistency checks are skipped, which
+// measures the peak throughput attainable without aborts (Fig. 8) at
+// the cost of serializability.
+func (t *Txn) validateOCC(novalidate bool) error {
+	t.rw.sortFor(AddrOrder)
+	for _, el := range t.rw.elems {
+		t.lockElement(el)
+		if novalidate {
+			continue
+		}
+		if el.isInsert {
+			if err := t.checkInsertElement(el); err != nil {
+				return err
+			}
+			continue
+		}
+		if el.mode&ModeRead == 0 {
+			continue
+		}
+		if ts, _, _ := el.rec.Meta(); ts != el.rts {
+			return errRestart
+		}
+	}
+	if novalidate {
+		return nil
+	}
+	for _, sa := range t.rw.scans {
+		if sa.changed() {
+			return errRestart
+		}
+	}
+	return nil
+}
+
+// checkInsertElement validates an insert element under its lock
+// (§4.7.1 scenario 3 plus the stale-key refinement documented at
+// Txn.Insert).
+func (t *Txn) checkInsertElement(el *Element) error {
+	ts, _, vis := el.rec.Meta()
+	if el.insertConflict && vis && ts == el.rts {
+		return proc.UserAbort(fmt.Sprintf("duplicate key %s[%d]", el.tab.Schema().Name, el.rec.Key()))
+	}
+	if vis || ts != el.rts {
+		return errRestart
+	}
+	return nil
+}
+
+// validateSilo is Silo's commit protocol (THEDB-SILO): lock only the
+// write set (in address order), then validate the read set without
+// locking — a read is consistent when its timestamp is unchanged and
+// the record is not locked by another transaction. This avoids
+// tracking anti-dependencies and locks less, but a transaction
+// discovers conflicts only after buying all its write locks, which is
+// why it wastes more work under contention (§5.1).
+func (t *Txn) validateSilo(novalidate bool) error {
+	t.rw.sortFor(AddrOrder)
+	for _, el := range t.rw.elems {
+		if el.mode&ModeWrite != 0 {
+			t.lockElement(el)
+		}
+	}
+	if novalidate {
+		return nil
+	}
+	for _, el := range t.rw.elems {
+		if el.isInsert {
+			if err := t.checkInsertElement(el); err != nil {
+				return err
+			}
+			continue
+		}
+		if el.mode&ModeRead == 0 {
+			continue
+		}
+		ts, locked, _ := el.rec.Meta()
+		if ts != el.rts {
+			return errRestart
+		}
+		if locked && !el.locked {
+			return errRestart
+		}
+	}
+	for _, sa := range t.rw.scans {
+		if sa.changed() {
+			return errRestart
+		}
+	}
+	return nil
+}

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+)
+
+// execMode selects how OpCtx primitives behave.
+type execMode uint8
+
+const (
+	// modeExec is the initial read phase: every access is performed
+	// against the index and registered in the access cache.
+	modeExec execMode = iota
+	// modeReplay is value-dependent restoration (§4.2.2): accesses
+	// are replayed positionally against the cached record addresses;
+	// no index lookups happen.
+	modeReplay
+	// modeReexec is key-dependent restoration: the operation re-runs
+	// with fresh index lookups and the read/write-set membership is
+	// updated with the access-set diff.
+	modeReexec
+)
+
+// errDiverged signals that a cached replay no longer matches the
+// operation's original access pattern; the engine falls back to
+// abort-and-restart, which is always safe.
+var errDiverged = errors.New("core: cached replay diverged")
+
+// Txn is one transaction attempt. It implements proc.OpCtx.
+type Txn struct {
+	w    *Worker
+	e    *Engine
+	prog *proc.Program
+	env  *proc.Env
+	rw   *RWSet
+	runs []*OpRun
+
+	mode   execMode
+	cur    *OpRun
+	cursor int // replay cursor into cur.accesses
+	nacc   int // accesses registered for cur in this (re)run
+
+	// frontier is the index of the element currently being validated
+	// (-1 before validation starts). Membership inserts at or below
+	// the frontier must take their lock no-wait (§4.2.2).
+	frontier int
+
+	locked []*Element // elements whose record meta-lock we hold
+
+	// adhoc transactions skip access-cache maintenance and are
+	// validated with plain OCC (§4.8).
+	adhoc bool
+
+	// useTPL switches the access primitives to lock-at-access
+	// two-phase locking (THEDB-2PL and the second leg of
+	// THEDB-HYBRID).
+	useTPL bool
+
+	// noYield suppresses interleaving yields for this attempt (the
+	// starvation guard of Worker.backoff).
+	noYield bool
+
+	// tplMeta makes the 2PL leg lock through the record meta word so
+	// it serializes against concurrent OCC transactions (HYBRID).
+	tplMeta bool
+
+	healOps int // operations restored in this attempt (metrics)
+
+	// healDur accumulates wall time spent in healing passes when
+	// detailed metrics are on (Fig. 19).
+	healDur time.Duration
+}
+
+func newTxn(w *Worker, prog *proc.Program, env *proc.Env, adhoc bool) *Txn {
+	t := &Txn{
+		w:        w,
+		e:        w.e,
+		prog:     prog,
+		env:      env,
+		rw:       newRWSet(),
+		frontier: -1,
+		adhoc:    adhoc,
+	}
+	t.runs = make([]*OpRun, len(prog.Ops))
+	for i, op := range prog.Ops {
+		t.runs[i] = &OpRun{op: op}
+	}
+	return t
+}
+
+// Env implements proc.OpCtx.
+func (t *Txn) Env() *proc.Env { return t.env }
+
+// trackAccesses reports whether the access cache is maintained for
+// this transaction. Only the healing protocol consumes it, so the
+// baselines skip the maintenance entirely (the paper's baselines do
+// not carry healing structures either); it is also off for ad-hoc
+// transactions (§4.8) and under the Table 4 ablation.
+func (t *Txn) trackAccesses() bool {
+	return t.e.opts.Protocol == Healing && !t.adhoc && !t.e.opts.NoAccessCache
+}
+
+// keepReadCopies reports whether per-read column copies are
+// maintained (false-invalidation elimination, §4.5) — healing only.
+func (t *Txn) keepReadCopies() bool {
+	return t.e.opts.Protocol == Healing && !t.adhoc && !t.e.opts.NoReadCopies
+}
+
+// readPhase executes all operations in program order.
+func (t *Txn) readPhase() error {
+	t.mode = modeExec
+	interleave := t.e.opts.Interleave && !t.noYield
+	for i := range t.runs {
+		t.cur = t.runs[i]
+		t.nacc = 0
+		if err := t.cur.op.Body(t); err != nil {
+			return err
+		}
+		if interleave {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// seqFor derives a stable fold-order sequence for the n-th access of
+// an operation: program order across operations, registration order
+// within one.
+func seqFor(opID, n int) int { return opID<<20 | n }
+
+// acquire returns the element for (tab, key), creating the record as
+// an invisible dummy when absent (§4.7.1) and handling membership
+// insertion during key-dependent re-execution (§4.2.2).
+func (t *Txn) acquire(tab *storage.Table, key storage.Key) (*Element, error) {
+	rec, created := tab.GetOrCreateDummy(key)
+	el := t.rw.lookup(rec)
+	if el != nil {
+		rec.Unpin() // the element already holds one pin
+		if el.removed {
+			el.removed = false // back in the footprint
+		}
+		return el, nil
+	}
+	el = &Element{rec: rec, tab: tab, rank: tab.Rank(), createdDummy: created}
+	el.rts, _, el.seenVisible = rec.Meta()
+	t.rw.add(el)
+	if t.mode == modeReexec && t.rw.sorted {
+		// Membership update: if the new element sorts at or before
+		// the validation frontier, its lock must be taken now,
+		// no-wait (Algorithm 2); otherwise the main validation loop
+		// will reach it.
+		if idx := t.rw.indexOf(el); idx <= t.frontier {
+			if !t.tryLockBounded(el) {
+				return nil, errRestart
+			}
+			// We hold the lock, so the fresh read below is
+			// consistent by construction.
+			el.rts, _, el.seenVisible = rec.Meta()
+			t.frontier++ // the frontier element shifted right by the insert
+		}
+	}
+	return el, nil
+}
+
+// tryLockBounded attempts the no-wait lock acquisition of the healing
+// membership update, with the configured bounded number of attempts.
+func (t *Txn) tryLockBounded(el *Element) bool {
+	for i := 0; i < t.e.opts.MaxLockAttempts; i++ {
+		if el.rec.TryLock() {
+			el.locked = true
+			t.locked = append(t.locked, el)
+			return true
+		}
+	}
+	return false
+}
+
+// lockElement spin-locks an element in the main validation loop
+// (safe: global order) and records it for release.
+func (t *Txn) lockElement(el *Element) {
+	el.rec.Lock()
+	el.locked = true
+	t.locked = append(t.locked, el)
+}
+
+// visibleTo computes the record's visibility from this transaction's
+// perspective, folding in buffered inserts and deletes.
+func visibleTo(el *Element) bool {
+	if el.isInsert {
+		return true
+	}
+	if el.isDelete {
+		return false
+	}
+	return el.rec.Visible()
+}
+
+// viewAt returns the element's row image and visibility as observed
+// by a read at fold position beforeSeq: the record's current global
+// copy overlaid with only those buffered effects issued by
+// program-order-earlier operations. Healing replays depend on this
+// bound — a restored early read must not observe the transaction's
+// own later writes.
+func (t *Txn) viewAt(el *Element, beforeSeq int) (storage.Tuple, bool) {
+	return t.viewOn(el, beforeSeq, el.rec.Tuple(), el.rec.Visible())
+}
+
+// viewOn is viewAt over a caller-preloaded global copy. The caller
+// must pass the very load it hands to noteRead: validating one load
+// while the operation body consumed another lets a concurrent commit
+// slip between them and certify a value that was never used.
+func (t *Txn) viewOn(el *Element, beforeSeq int, base storage.Tuple, visible bool) (storage.Tuple, bool) {
+	if el.isInsert && el.insertSeq < beforeSeq {
+		base = el.insertTuple
+		visible = true
+	}
+	if el.isDelete && el.deleteSeq < beforeSeq {
+		visible = false
+	}
+	return el.applyWritesBefore(base, beforeSeq), visible
+}
+
+// Read implements proc.OpCtx.
+func (t *Txn) Read(table string, key storage.Key, cols []int) (storage.Tuple, bool, error) {
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessPoint, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := t.matchPoint(entry, table, key); err != nil {
+			return nil, false, err
+		}
+		img, vis := t.viewAt(entry.elem, entry.seq)
+		return img, vis, nil
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	el, err := t.acquire(tab, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if t.useTPL {
+		if err := t.tplLock(el, false); err != nil {
+			return nil, false, err
+		}
+	}
+	seq := seqFor(t.cur.op.ID, t.nacc)
+	cur := el.rec.Tuple() // single load: consumed, copied, and validated together
+	img, vis := t.viewOn(el, seq, cur, el.rec.Visible())
+	el.noteRead(t.bookmark(), cols, cur, t.keepReadCopies())
+	t.register(accessEntry{kind: accessPoint, elem: el, readCols: cols, seq: seq})
+	return img, vis, nil
+}
+
+// Write implements proc.OpCtx.
+func (t *Txn) Write(table string, key storage.Key, cols []int, vals []storage.Value) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("core: write cols/vals mismatch (%d vs %d)", len(cols), len(vals))
+	}
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessPoint, true)
+		if err != nil {
+			return err
+		}
+		if err := t.matchPoint(entry, table, key); err != nil {
+			return err
+		}
+		// The op's previous writes were retracted before replay;
+		// re-buffer with the entry's original fold position.
+		entry.elem.addWrite(t.cur.op.ID, entry.seq, cols, vals)
+		return nil
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	el, err := t.acquire(tab, key)
+	if err != nil {
+		return err
+	}
+	if t.useTPL {
+		if err := t.tplLock(el, true); err != nil {
+			return err
+		}
+	}
+	seq := seqFor(t.cur.op.ID, t.nacc)
+	if _, vis := t.viewAt(el, seq); !vis {
+		return proc.UserAbort(fmt.Sprintf("write to non-existent record %s[%d]", table, key))
+	}
+	el.addWrite(t.cur.op.ID, seq, cols, vals)
+	t.register(accessEntry{kind: accessPoint, elem: el, seq: seq, isWrite: true})
+	return nil
+}
+
+// Insert implements proc.OpCtx.
+func (t *Txn) Insert(table string, key storage.Key, tuple storage.Tuple) error {
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessPoint, true)
+		if err != nil {
+			return err
+		}
+		if err := t.matchPoint(entry, table, key); err != nil {
+			return err
+		}
+		entry.elem.insertTuple = tuple
+		return nil
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	if len(tuple) != len(tab.Schema().Columns) {
+		return fmt.Errorf("core: insert into %s: tuple width %d != %d", table, len(tuple), len(tab.Schema().Columns))
+	}
+	el, err := t.acquire(tab, key)
+	if err != nil {
+		return err
+	}
+	if t.useTPL {
+		if err := t.tplLock(el, true); err != nil {
+			return err
+		}
+	}
+	if visibleTo(el) {
+		if t.useTPL {
+			// 2PL holds the record lock, so the observation is
+			// current: the key exists.
+			return proc.UserAbort(fmt.Sprintf("duplicate key %s[%d]", table, key))
+		}
+		// Optimistic protocols defer the verdict to validation: an
+		// unchanged record there is a genuine duplicate; a changed
+		// one means our key came from a stale read (e.g. a raced
+		// DISTRICT.next_o_id) and healing or a restart resolves it.
+		el.insertConflict = true
+	}
+	if el.isDelete {
+		// Own delete followed by re-insert: fold into an update.
+		el.isDelete = false
+		seq := seqFor(t.cur.op.ID, t.nacc)
+		cols := make([]int, len(tuple))
+		for i := range cols {
+			cols[i] = i
+		}
+		el.addWrite(t.cur.op.ID, seq, cols, tuple)
+		t.register(accessEntry{kind: accessPoint, elem: el, seq: seq, isWrite: true})
+		return nil
+	}
+	el.mode |= ModeWrite
+	el.isInsert = true
+	el.insertTuple = tuple
+	el.insertSeq = seqFor(t.cur.op.ID, t.nacc)
+	t.register(accessEntry{kind: accessPoint, elem: el, seq: el.insertSeq, isWrite: true})
+	return nil
+}
+
+// Delete implements proc.OpCtx.
+func (t *Txn) Delete(table string, key storage.Key) error {
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessPoint, true)
+		if err != nil {
+			return err
+		}
+		return t.matchPoint(entry, table, key)
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	el, err := t.acquire(tab, key)
+	if err != nil {
+		return err
+	}
+	if t.useTPL {
+		if err := t.tplLock(el, true); err != nil {
+			return err
+		}
+	}
+	if !visibleTo(el) {
+		return proc.UserAbort(fmt.Sprintf("delete of non-existent record %s[%d]", table, key))
+	}
+	if el.isInsert {
+		// Deleting our own uncommitted insert cancels it.
+		el.isInsert = false
+		el.insertTuple = nil
+		el.dropWrites(-1) // keep writes of other ops; -1 drops none
+	} else {
+		el.mode |= ModeWrite
+		el.isDelete = true
+		el.deleteSeq = seqFor(t.cur.op.ID, t.nacc)
+	}
+	t.register(accessEntry{kind: accessPoint, elem: el, seq: seqFor(t.cur.op.ID, t.nacc), isWrite: true})
+	return nil
+}
+
+// Scan implements proc.OpCtx.
+func (t *Txn) Scan(table string, lo, hi storage.Key, limit int, fn func(key storage.Key, row storage.Tuple) bool) error {
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessScan, false)
+		if err != nil {
+			return err
+		}
+		for _, el := range entry.scanElems {
+			img, vis := t.viewAt(el, entry.seq)
+			if !vis {
+				continue
+			}
+			if !fn(el.rec.Key(), img) {
+				break
+			}
+		}
+		return nil
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	if tab.Schema() == nil || !tab.Schema().Ordered {
+		return fmt.Errorf("core: table %s has no ordered index", table)
+	}
+	seq := seqFor(t.cur.op.ID, t.nacc)
+	var scanErr error
+	var elems []*Element
+	seen := 0
+	refs := tab.RangeScan(lo, hi, func(k storage.Key, rec *storage.Record) bool {
+		el, aerr := t.acquireScanned(tab, rec) // captures rts before the data load
+		if aerr != nil {
+			scanErr = aerr
+			return false
+		}
+		cur := rec.Tuple() // single load: consumed, copied, validated together
+		el.noteRead(t.bookmark(), nil, cur, t.keepReadCopies())
+		elems = append(elems, el)
+		img, vis := t.viewOn(el, seq, cur, rec.Visible())
+		if !vis {
+			// Invisible records join the read set (their visibility
+			// flip at a concurrent commit changes their timestamp,
+			// which validation detects) but are not exposed.
+			return true
+		}
+		seen++
+		if !fn(k, img) {
+			return false
+		}
+		return limit <= 0 || seen < limit
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	sa := &ScanAccess{op: t.cur, primary: refs}
+	t.rw.scans = append(t.rw.scans, sa)
+	t.register(accessEntry{kind: accessScan, scan: sa, scanElems: elems, seq: seq})
+	return nil
+}
+
+// ScanMin implements proc.OpCtx.
+func (t *Txn) ScanMin(table string, lo, hi storage.Key) (storage.Key, storage.Tuple, bool, error) {
+	var (
+		rk  storage.Key
+		rt  storage.Tuple
+		got bool
+	)
+	err := t.Scan(table, lo, hi, 1, func(k storage.Key, row storage.Tuple) bool {
+		rk, rt, got = k, row, true
+		return false
+	})
+	return rk, rt, got, err
+}
+
+// ScanSec implements proc.OpCtx.
+func (t *Txn) ScanSec(table, index string, lo, hi string, limit int, fn func(pk storage.Key, row storage.Tuple) bool) error {
+	if t.mode == modeReplay {
+		entry, err := t.nextEntry(accessScan, false)
+		if err != nil {
+			return err
+		}
+		for _, el := range entry.scanElems {
+			img, vis := t.viewAt(el, entry.seq)
+			if !vis {
+				continue
+			}
+			if !fn(el.rec.Key(), img) {
+				break
+			}
+		}
+		return nil
+	}
+	tab, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	idx := tab.SecondaryIndexID(index)
+	if idx < 0 {
+		return fmt.Errorf("core: table %s has no index %q", table, index)
+	}
+	seq := seqFor(t.cur.op.ID, t.nacc)
+	var scanErr error
+	var elems []*Element
+	seen := 0
+	refs := tab.SecondaryScan(idx, lo, hi, func(_ string, rec *storage.Record) bool {
+		el, aerr := t.acquireScanned(tab, rec) // captures rts before the data load
+		if aerr != nil {
+			scanErr = aerr
+			return false
+		}
+		cur := rec.Tuple() // single load: consumed, copied, validated together
+		el.noteRead(t.bookmark(), nil, cur, t.keepReadCopies())
+		elems = append(elems, el)
+		img, vis := t.viewOn(el, seq, cur, rec.Visible())
+		if !vis {
+			return true
+		}
+		seen++
+		if !fn(rec.Key(), img) {
+			return false
+		}
+		return limit <= 0 || seen < limit
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	sa := &ScanAccess{op: t.cur, secondary: refs}
+	t.rw.scans = append(t.rw.scans, sa)
+	t.register(accessEntry{kind: accessScan, scan: sa, scanElems: elems, seq: seq})
+	return nil
+}
+
+// acquireScanned is acquire for a record already located by a scan:
+// the record is pinned explicitly (scans bypass Table.Get).
+func (t *Txn) acquireScanned(tab *storage.Table, rec *storage.Record) (*Element, error) {
+	el := t.rw.lookup(rec)
+	if el != nil {
+		if el.removed {
+			el.removed = false
+		}
+		return el, nil
+	}
+	rec.Pin()
+	el = &Element{rec: rec, tab: tab, rank: tab.Rank()}
+	el.rts, _, el.seenVisible = rec.Meta()
+	t.rw.add(el)
+	if t.mode == modeReexec && t.rw.sorted {
+		if idx := t.rw.indexOf(el); idx <= t.frontier {
+			if !t.tryLockBounded(el) {
+				return nil, errRestart
+			}
+			el.rts, _, el.seenVisible = rec.Meta()
+			t.frontier++
+		}
+	}
+	if t.useTPL {
+		if err := t.tplLock(el, false); err != nil {
+			return nil, err
+		}
+	}
+	return el, nil
+}
+
+// bookmark returns the current op for bookmark registration, or nil
+// when the access cache is disabled.
+func (t *Txn) bookmark() *OpRun {
+	if !t.trackAccesses() {
+		return nil
+	}
+	return t.cur
+}
+
+// register appends an access-cache entry for the current op.
+func (t *Txn) register(e accessEntry) {
+	if e.elem != nil {
+		e.elem.uses++
+	}
+	for _, el := range e.scanElems {
+		el.uses++
+	}
+	if e.seq == 0 && e.kind == accessPoint {
+		e.seq = seqFor(t.cur.op.ID, t.nacc)
+	}
+	t.nacc++
+	if !t.trackAccesses() {
+		return
+	}
+	t.cur.accesses = append(t.cur.accesses, e)
+}
+
+// nextEntry advances the replay cursor, checking that the replayed
+// access still matches the cached one in kind and read/write class. A
+// mismatch means the operation's control flow branched differently on
+// the healed values — the access cache is useless then, and the
+// transaction falls back to abort-and-restart.
+func (t *Txn) nextEntry(kind accessKind, isWrite bool) (*accessEntry, error) {
+	if t.cursor >= len(t.cur.accesses) {
+		return nil, errDiverged
+	}
+	e := &t.cur.accesses[t.cursor]
+	t.cursor++
+	if e.kind != kind || e.isWrite != isWrite {
+		return nil, errDiverged
+	}
+	return e, nil
+}
+
+// matchPoint additionally verifies a replayed point access targets
+// the same record as the cached entry.
+func (t *Txn) matchPoint(e *accessEntry, table string, key storage.Key) error {
+	if e.elem == nil || e.elem.rec.Key() != key || e.elem.tab.Schema().Name != table {
+		return errDiverged
+	}
+	return nil
+}
+
+func (t *Txn) table(name string) (*storage.Table, error) {
+	tab, ok := t.e.catalog.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no such table %q", name)
+	}
+	return tab, nil
+}
+
+// finish releases locks and pins and retires dummies; called on both
+// commit and abort paths, after the write phase if any.
+func (t *Txn) finish(committed bool) {
+	for _, el := range t.locked {
+		el.rec.Unlock()
+		el.locked = false
+	}
+	t.locked = t.locked[:0]
+	for _, el := range t.rw.elems {
+		rec := el.rec
+		if el.tplMode != tplNone {
+			releaseTPL(el)
+		}
+		if el.createdDummy && (!committed || el.removed || !el.isInsert) {
+			// A dummy we materialized that did not become a real
+			// record: hand it to the GC (it reclaims once unpinned).
+			t.e.gc.Retire(rec)
+		}
+		rec.Unpin()
+	}
+}

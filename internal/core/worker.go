@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"thedb/internal/metrics"
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+	"thedb/internal/wal"
+)
+
+// Worker is one execution thread's context: its metrics collector,
+// its commit-timestamp state, and its private log stream. A worker
+// must be driven by at most one goroutine at a time.
+type Worker struct {
+	e        *Engine
+	id       int
+	m        metrics.Worker
+	lastTS   uint64
+	wlog     *wal.WorkerLog
+	rngState uint64
+
+	// curArgs holds the running procedure's argument vector for
+	// command logging.
+	curArgs []storage.Value
+}
+
+func newWorker(e *Engine, id int) *Worker {
+	w := &Worker{e: e, id: id, rngState: uint64(id)*2685821657736338717 + 88172645463325252}
+	if e.opts.Logger != nil {
+		w.wlog = e.opts.Logger.Worker(id)
+	}
+	return w
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// Metrics returns the worker's collector.
+func (w *Worker) Metrics() *metrics.Worker { return &w.m }
+
+// Run executes the named stored procedure to completion under the
+// engine's protocol, retrying aborted attempts. It returns the final
+// variable environment (query results) or the application abort
+// error.
+func (w *Worker) Run(procName string, args ...storage.Value) (*proc.Env, error) {
+	return w.run(procName, args, false)
+}
+
+// RunAdhoc executes the procedure as an ad-hoc transaction (§4.8):
+// no access cache is maintained and validation failures abort and
+// restart under plain OCC, regardless of the engine protocol.
+func (w *Worker) RunAdhoc(procName string, args ...storage.Value) (*proc.Env, error) {
+	return w.run(procName, args, true)
+}
+
+// Transact executes fn as an anonymous ad-hoc transaction: fn's reads
+// and writes go through the usual OpCtx primitives and the
+// transaction commits under plain OCC with abort-and-restart (§4.8 —
+// ad-hoc transactions carry no dependency information, so they cannot
+// be healed). fn may run multiple times; it must be idempotent apart
+// from its OpCtx effects.
+func (w *Worker) Transact(fn func(ctx proc.OpCtx) error) error {
+	spec := &proc.Spec{
+		Name: "adhoc",
+		Plan: func(b *proc.Builder, _ *proc.Env) {
+			b.Op(proc.Op{Name: "adhoc", Body: fn})
+		},
+	}
+	w.curArgs = nil
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		env := proc.NewEnv()
+		prog := spec.Instantiate(env)
+		err := w.attempt(prog, env, "adhoc", true, attempt)
+		if err == nil {
+			w.m.Committed++
+			w.m.ObserveLatency(time.Since(start))
+			return nil
+		}
+		if errors.Is(err, errRestart) {
+			w.m.Restarts++
+			w.backoff(attempt)
+			continue
+		}
+		w.m.Aborted++
+		return err
+	}
+}
+
+func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.Env, error) {
+	spec, ok := w.e.specs[procName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchProc, procName)
+	}
+	w.curArgs = args
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		env := buildEnv(spec, args)
+		prog := spec.Instantiate(env)
+		err := w.attempt(prog, env, procName, adhoc, attempt)
+		if err == nil {
+			w.m.Committed++
+			w.m.ObserveLatency(time.Since(start))
+			return env, nil
+		}
+		if errors.Is(err, errRestart) {
+			w.m.Restarts++
+			w.backoff(attempt)
+			continue
+		}
+		// Application abort: permanent.
+		w.m.Aborted++
+		return env, err
+	}
+}
+
+// backoff sleeps after a restart with capped exponential jitter. It
+// breaks restart livelocks between symmetric transactions — the same
+// role randomized backoff plays in production OCC and no-wait 2PL
+// engines. The first couple of retries are free (short conflicts
+// resolve on their own).
+func (w *Worker) backoff(attempt int) {
+	if attempt < 2 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt
+	if shift > 8 {
+		shift = 8
+	}
+	// 1-2^shift µs of jitter from a cheap worker-local xorshift.
+	w.rngState = w.rngState*6364136223846793005 + 1442695040888963407
+	jitter := (w.rngState >> 33) % (uint64(1) << shift)
+	time.Sleep(time.Duration(1+jitter) * time.Microsecond)
+}
+
+// attempt executes one try of the transaction under the engine's
+// protocol. It returns nil on commit, errRestart when the attempt
+// must be retried, or a permanent application error.
+func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adhoc bool, attempt int) error {
+	proto := w.e.opts.Protocol
+	if adhoc && (proto == Healing || proto == Hybrid) {
+		proto = OCC
+	}
+	if proto == Hybrid {
+		// OCC first; after any OCC validation abort rerun under 2PL
+		// (references [28, 52, 60]).
+		if attempt == 0 {
+			proto = OCC
+		} else {
+			proto = TPL
+		}
+	}
+
+	t := newTxn(w, prog, env, adhoc)
+	t.useTPL = proto == TPL
+	t.tplMeta = t.useTPL && w.e.opts.Protocol == Hybrid
+	// Liveness guard for the multicore-interleaving emulation: after
+	// repeated restarts, run an attempt without yielding so its
+	// conflict window collapses and it commits (a long transaction
+	// such as TPC-C Delivery could otherwise starve forever under
+	// stretched windows; real multicores do not stretch windows by
+	// the worker count).
+	t.noYield = attempt > 8
+
+	detailed := w.e.opts.DetailedMetrics
+	var tRead, tValidate, tHeal, tWrite time.Duration
+	attemptStart := time.Now()
+
+	fail := func(err error) error {
+		t.finish(false)
+		if detailed {
+			w.m.AddPhase(metrics.PhaseAbort, time.Since(attemptStart))
+		}
+		return err
+	}
+
+	readStart := attemptStart
+	if err := t.readPhase(); err != nil {
+		if errors.Is(err, errRestart) {
+			return fail(errRestart) // 2PL no-wait conflict
+		}
+		return fail(err) // application abort
+	}
+	if detailed {
+		tRead = time.Since(readStart)
+	}
+
+	valStart := time.Now()
+	switch proto {
+	case Healing:
+		if err := t.validateHealing(); err != nil {
+			return fail(err)
+		}
+		if detailed {
+			tHeal = t.healDur
+			tValidate = time.Since(valStart) - tHeal
+		}
+		writeStart := time.Now()
+		if err := t.commit(procName); err != nil {
+			return fail(err)
+		}
+		if detailed {
+			tWrite = time.Since(writeStart)
+		}
+	case OCC, OCCNoValidate, Silo, SiloNoValidate:
+		var err error
+		if proto == OCC || proto == OCCNoValidate {
+			err = t.validateOCC(proto == OCCNoValidate)
+		} else {
+			err = t.validateSilo(proto == SiloNoValidate)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if detailed {
+			tValidate = time.Since(valStart)
+		}
+		writeStart := time.Now()
+		if err := t.commit(procName); err != nil {
+			return fail(err)
+		}
+		if detailed {
+			tWrite = time.Since(writeStart)
+		}
+	case TPL:
+		// Locks were taken during the read phase; no validation, so
+		// install directly.
+		if err := t.commit(procName); err != nil {
+			return fail(err)
+		}
+		if detailed {
+			tWrite = time.Since(valStart)
+		}
+	default:
+		return fail(fmt.Errorf("core: unsupported protocol %v", proto))
+	}
+
+	if detailed {
+		w.m.AddPhase(metrics.PhaseRead, tRead)
+		w.m.AddPhase(metrics.PhaseValidate, tValidate)
+		w.m.AddPhase(metrics.PhaseHeal, tHeal)
+		w.m.AddPhase(metrics.PhaseWrite, tWrite)
+	}
+	return nil
+}
+
+// buildEnv seeds the environment with named parameters and positional
+// aliases ($0, $1, ...) so variadic procedures can address argument
+// tails beyond their named prefix.
+func buildEnv(spec *proc.Spec, args []storage.Value) *proc.Env {
+	env := proc.NewEnv()
+	for i, a := range args {
+		if i < len(spec.Params) {
+			env.SetVal(spec.Params[i], a)
+		}
+		env.SetVal(fmt.Sprintf("$%d", i), a)
+	}
+	return env
+}

@@ -1,0 +1,196 @@
+// Package metrics collects the measurements the paper reports:
+// per-phase time breakdown (Fig. 19), latency histograms with the
+// paper's doubling bucket layout (Tables 1, 3, 5), throughput, abort
+// and restart counts (Fig. 9, Tables 2, 6).
+//
+// Each worker owns a private Worker collector (no synchronization on
+// the hot path); Aggregate folds workers together after a run.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase enumerates where transaction-processing time is spent.
+type Phase int
+
+// Phases, matching Fig. 19's breakdown.
+const (
+	PhaseRead Phase = iota
+	PhaseValidate
+	PhaseHeal
+	PhaseWrite
+	PhaseAbort // cleanup + wasted work of aborted attempts
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseRead:
+		return "read"
+	case PhaseValidate:
+		return "validate"
+	case PhaseHeal:
+		return "heal"
+	case PhaseWrite:
+		return "write"
+	case PhaseAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// numBuckets covers latencies from 1µs up to ~8.4s in doubling
+// buckets, a superset of the paper's table rows.
+const numBuckets = 24
+
+// Worker is a single worker's private metrics collector.
+type Worker struct {
+	Committed  int64
+	Aborted    int64 // transactions given up permanently (user abort, deadlock prevention)
+	Restarts   int64 // abort-and-restart events (OCC/2PL retries)
+	Heals      int64 // healing-phase invocations
+	HealedOps  int64 // operations restored by healing
+	FalseInval int64 // validation failures dismissed as false invalidations
+
+	PhaseNS [numPhases]int64
+
+	latency [numBuckets]int64 // committed-transaction latency, bucket i: [2^i, 2^(i+1)) µs
+	samples []float64         // raw latency samples (µs), capped, for percentiles
+}
+
+// maxSamples caps raw percentile samples per worker.
+const maxSamples = 1 << 17
+
+// AddPhase accrues d into the phase's total.
+func (w *Worker) AddPhase(p Phase, d time.Duration) { w.PhaseNS[p] += int64(d) }
+
+// ObserveLatency records one committed transaction's latency.
+func (w *Worker) ObserveLatency(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	b := 0
+	if us >= 1 {
+		b = int(math.Log2(us))
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	w.latency[b]++
+	if len(w.samples) < maxSamples {
+		w.samples = append(w.samples, us)
+	}
+}
+
+// Aggregate is the merged view over all workers plus the wall-clock
+// duration of the run.
+type Aggregate struct {
+	Worker
+	Wall    time.Duration
+	Workers int
+}
+
+// Merge folds per-worker collectors into one aggregate.
+func Merge(wall time.Duration, workers []*Worker) *Aggregate {
+	a := &Aggregate{Wall: wall, Workers: len(workers)}
+	for _, w := range workers {
+		a.Committed += w.Committed
+		a.Aborted += w.Aborted
+		a.Restarts += w.Restarts
+		a.Heals += w.Heals
+		a.HealedOps += w.HealedOps
+		a.FalseInval += w.FalseInval
+		for p := range w.PhaseNS {
+			a.PhaseNS[p] += w.PhaseNS[p]
+		}
+		for b := range w.latency {
+			a.latency[b] += w.latency[b]
+		}
+		a.samples = append(a.samples, w.samples...)
+	}
+	return a
+}
+
+// TPS returns committed transactions per second of wall time.
+func (a *Aggregate) TPS() float64 {
+	if a.Wall <= 0 {
+		return 0
+	}
+	return float64(a.Committed) / a.Wall.Seconds()
+}
+
+// AbortRate returns restarts per committed transaction, the paper's
+// abort-rate definition (§5.1 footnote 6).
+func (a *Aggregate) AbortRate() float64 {
+	if a.Committed == 0 {
+		return 0
+	}
+	return float64(a.Restarts) / float64(a.Committed)
+}
+
+// PermanentAbortRate returns permanently aborted transactions per
+// committed transaction (deadlock prevention, Table 6).
+func (a *Aggregate) PermanentAbortRate() float64 {
+	if a.Committed == 0 {
+		return 0
+	}
+	return float64(a.Aborted) / float64(a.Committed)
+}
+
+// PhaseFraction returns the share of total measured time spent in p.
+func (a *Aggregate) PhaseFraction(p Phase) float64 {
+	var total int64
+	for _, ns := range a.PhaseNS {
+		total += ns
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(a.PhaseNS[p]) / float64(total)
+}
+
+// LatencyShare returns the fraction of committed transactions whose
+// latency fell in [lo, hi) microseconds, computed from the raw
+// samples (paper Tables 1 and 5 use irregular bucket edges).
+func (a *Aggregate) LatencyShare(loUS, hiUS float64) float64 {
+	if len(a.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range a.samples {
+		if s >= loUS && s < hiUS {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.samples))
+}
+
+// Percentile returns the p-th latency percentile in microseconds
+// (p in [0, 100]).
+func (a *Aggregate) Percentile(p float64) float64 {
+	if len(a.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(a.samples))
+	copy(s, a.samples)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Samples returns the number of raw latency samples retained.
+func (a *Aggregate) Samples() int { return len(a.samples) }
+
+// BreakdownString renders the phase breakdown as percentages.
+func (a *Aggregate) BreakdownString() string {
+	var parts []string
+	for p := Phase(0); p < numPhases; p++ {
+		parts = append(parts, fmt.Sprintf("%s=%.1f%%", p, 100*a.PhaseFraction(p)))
+	}
+	return strings.Join(parts, " ")
+}

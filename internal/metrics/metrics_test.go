@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMergeAndTPS(t *testing.T) {
+	w1 := &Worker{Committed: 100, Restarts: 10, Heals: 5}
+	w2 := &Worker{Committed: 200, Restarts: 20, Aborted: 2, FalseInval: 3}
+	a := Merge(2*time.Second, []*Worker{w1, w2})
+	if a.Committed != 300 || a.Restarts != 30 || a.Aborted != 2 || a.Heals != 5 || a.FalseInval != 3 {
+		t.Fatalf("merged = %+v", a.Worker)
+	}
+	if a.TPS() != 150 {
+		t.Fatalf("tps = %f", a.TPS())
+	}
+	if a.AbortRate() != 0.1 {
+		t.Fatalf("abort rate = %f", a.AbortRate())
+	}
+	if math.Abs(a.PermanentAbortRate()-2.0/300) > 1e-12 {
+		t.Fatalf("permanent abort rate = %f", a.PermanentAbortRate())
+	}
+	if a.Workers != 2 {
+		t.Fatalf("workers = %d", a.Workers)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	a := Merge(0, nil)
+	if a.TPS() != 0 || a.AbortRate() != 0 || a.PermanentAbortRate() != 0 {
+		t.Fatal("zero aggregate not safe")
+	}
+	if a.PhaseFraction(PhaseRead) != 0 {
+		t.Fatal("phase fraction of empty aggregate")
+	}
+	if a.Percentile(95) != 0 || a.LatencyShare(0, 100) != 0 {
+		t.Fatal("latency stats of empty aggregate")
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	w := &Worker{}
+	w.AddPhase(PhaseRead, 60*time.Millisecond)
+	w.AddPhase(PhaseValidate, 20*time.Millisecond)
+	w.AddPhase(PhaseHeal, 10*time.Millisecond)
+	w.AddPhase(PhaseWrite, 10*time.Millisecond)
+	a := Merge(time.Second, []*Worker{w})
+	if f := a.PhaseFraction(PhaseRead); math.Abs(f-0.6) > 1e-9 {
+		t.Fatalf("read fraction = %f", f)
+	}
+	if f := a.PhaseFraction(PhaseAbort); f != 0 {
+		t.Fatalf("abort fraction = %f", f)
+	}
+	s := a.BreakdownString()
+	if !strings.Contains(s, "read=60.0%") || !strings.Contains(s, "heal=10.0%") {
+		t.Fatalf("breakdown = %q", s)
+	}
+}
+
+func TestLatencyPercentilesAndShares(t *testing.T) {
+	w := &Worker{}
+	for i := 1; i <= 100; i++ {
+		w.ObserveLatency(time.Duration(i) * time.Microsecond)
+	}
+	a := Merge(time.Second, []*Worker{w})
+	if a.Samples() != 100 {
+		t.Fatalf("samples = %d", a.Samples())
+	}
+	if p := a.Percentile(50); p < 45 || p > 55 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := a.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if s := a.LatencyShare(1, 51); math.Abs(s-0.5) > 0.02 {
+		t.Fatalf("share [1,51) = %f", s)
+	}
+	if s := a.LatencyShare(1000, 2000); s != 0 {
+		t.Fatalf("share of empty range = %f", s)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := map[Phase]string{
+		PhaseRead: "read", PhaseValidate: "validate", PhaseHeal: "heal",
+		PhaseWrite: "write", PhaseAbort: "abort",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

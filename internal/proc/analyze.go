@@ -1,0 +1,128 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is one instantiated procedure invocation: its operations in
+// program order plus the program dependency graph (§3).
+type Program struct {
+	Spec *Spec
+	Ops  []*Op
+
+	// Independent reports whether the invocation's read/write set is
+	// determined by its arguments alone: no operation's accessing key
+	// depends on another operation's output and no operation scans a
+	// key range whose extent depends on database state. Independent
+	// transactions take the merged validate+write fast path and can
+	// never abort under healing (§4.6).
+	Independent bool
+}
+
+// analyze infers key and value dependencies from variable flow.
+// Variable definitions follow program order: an operation reading
+// variable v depends on the latest preceding operation that writes v
+// (static single-assignment is not required; procedures in practice
+// assign each variable once).
+func (p *Program) analyze() {
+	lastDef := make(map[string]*Op)
+	p.Independent = true
+	for _, op := range p.Ops {
+		// De-duplicate edges per (parent, kind).
+		keyParents := make(map[*Op]bool)
+		valParents := make(map[*Op]bool)
+		for _, v := range op.KeyReads {
+			if def := lastDef[v]; def != nil && !keyParents[def] {
+				keyParents[def] = true
+				def.keyChildren = append(def.keyChildren, op)
+				op.parents++
+				p.Independent = false
+			}
+		}
+		for _, v := range op.ValReads {
+			if def := lastDef[v]; def != nil && !valParents[def] && !keyParents[def] {
+				valParents[def] = true
+				def.valChildren = append(def.valChildren, op)
+				op.parents++
+			}
+		}
+		for _, v := range op.Writes {
+			lastDef[v] = op
+		}
+	}
+}
+
+// Op returns the operation with the given bookmark.
+func (p *Program) Op(id int) *Op { return p.Ops[id] }
+
+// Graph renders the program dependency graph in a stable textual form
+// mirroring the paper's Figure 3: one line per edge, "K" for key
+// dependencies and "V" for value dependencies.
+func (p *Program) Graph() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", p.Spec.Name)
+	for _, op := range p.Ops {
+		edges := make([]string, 0, len(op.keyChildren)+len(op.valChildren))
+		for _, c := range op.keyChildren {
+			edges = append(edges, fmt.Sprintf("K->%d", c.ID))
+		}
+		for _, c := range op.valChildren {
+			edges = append(edges, fmt.Sprintf("V->%d", c.ID))
+		}
+		sort.Strings(edges)
+		fmt.Fprintf(&sb, "  %d %s: %s\n", op.ID, op.Name, strings.Join(edges, " "))
+	}
+	return sb.String()
+}
+
+// Validate checks structural well-formedness: forward-only variable
+// flow (guaranteed by construction), unique op IDs, and that every
+// declared write set is disjoint from the procedure parameters.
+func (p *Program) Validate() error {
+	seen := make(map[int]bool)
+	params := make(map[string]bool)
+	for _, a := range p.Spec.Params {
+		params[a] = true
+	}
+	for i, op := range p.Ops {
+		if op.ID != i {
+			return fmt.Errorf("proc %s: op %q has id %d at position %d", p.Spec.Name, op.Name, op.ID, i)
+		}
+		if seen[op.ID] {
+			return fmt.Errorf("proc %s: duplicate op id %d", p.Spec.Name, op.ID)
+		}
+		seen[op.ID] = true
+		if op.Body == nil {
+			return fmt.Errorf("proc %s: op %d %q has no body", p.Spec.Name, op.ID, op.Name)
+		}
+		for _, w := range op.Writes {
+			if params[w] {
+				return fmt.Errorf("proc %s: op %d writes parameter %q", p.Spec.Name, op.ID, w)
+			}
+		}
+	}
+	return nil
+}
+
+// DOT renders the program dependency graph in Graphviz format: solid
+// edges are key dependencies, dashed edges are value dependencies —
+// the visual convention of the paper's Figures 3 and 15.
+func (p *Program) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", p.Spec.Name)
+	for _, op := range p.Ops {
+		fmt.Fprintf(&sb, "  op%d [label=\"%d %s\"];\n", op.ID, op.ID, op.Name)
+	}
+	for _, op := range p.Ops {
+		for _, c := range op.keyChildren {
+			fmt.Fprintf(&sb, "  op%d -> op%d [style=solid];\n", op.ID, c.ID)
+		}
+		for _, c := range op.valChildren {
+			fmt.Fprintf(&sb, "  op%d -> op%d [style=dashed];\n", op.ID, c.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+// Package proc defines THEDB's stored-procedure intermediate
+// representation and the static dependency analyzer.
+//
+// The paper extracts a program dependency graph from each stored
+// procedure with an LLVM pass (§3). Here procedures are written
+// against a small declarative IR instead: a procedure is a sequence
+// of operations, each declaring the environment variables it consumes
+// (split into key inputs and value inputs) and the variables it
+// produces. The analyzer infers exactly the paper's two dependency
+// classes from variable flow:
+//
+//   - op B is key-dependent on op A when A produces a variable that B
+//     uses to compute an accessing key;
+//   - op B is value-dependent on op A when A produces a variable that
+//     B uses as a non-key input.
+//
+// The engine (package core) executes operation bodies through the
+// OpCtx interface, recording every record access in the thread-local
+// access cache so that the healing phase can re-run an individual
+// operation either in cached mode (value-dependent restoration: reuse
+// the recorded record addresses, skip index lookups) or in
+// re-execution mode (key-dependent restoration: fresh index lookups,
+// read/write-set membership update).
+package proc
+
+import (
+	"fmt"
+
+	"thedb/internal/storage"
+)
+
+// Op is one operation instance of a procedure invocation. IDs are
+// assigned in program order and serve as the paper's bookmarks.
+type Op struct {
+	// ID is the operation's bookmark: its position in program order.
+	ID int
+
+	// Name labels the operation for diagnostics and graph dumps
+	// (the paper uses source line numbers).
+	Name string
+
+	// KeyReads lists environment variables this operation uses to
+	// compute accessing keys (or scan bounds).
+	KeyReads []string
+
+	// ValReads lists environment variables used as non-key inputs
+	// (update values, predicates, arithmetic).
+	ValReads []string
+
+	// Writes lists environment variables this operation produces.
+	Writes []string
+
+	// Body performs the operation's record accesses and computation
+	// through ctx. It must be deterministic given the environment
+	// variables it declared, and must not touch undeclared variables
+	// (enforced when the environment runs in checked mode).
+	Body func(ctx OpCtx) error
+
+	// keyChildren/valChildren are filled by the analyzer.
+	keyChildren []*Op
+	valChildren []*Op
+	parents     int // number of incoming dependency edges
+}
+
+// KeyChildren returns the operations key-dependent on op.
+func (o *Op) KeyChildren() []*Op { return o.keyChildren }
+
+// ValChildren returns the operations value-dependent on op.
+func (o *Op) ValChildren() []*Op { return o.valChildren }
+
+// OpCtx is the execution context the engine hands to operation
+// bodies. Every record access made through it is registered in the
+// calling transaction's read/write set and in the operation's access
+// cache entry.
+type OpCtx interface {
+	// Env returns the transaction's variable environment.
+	Env() *Env
+
+	// Read fetches the record stored under key, returning its row
+	// image and whether the record exists (is visible). Reading a
+	// non-existent key registers a dummy record in the read set so
+	// that a later insert by a concurrent transaction is detected
+	// (§4.7.1). cols lists the columns the caller will consume; nil
+	// means all columns. Column tracking drives false-invalidation
+	// elimination (§4.5).
+	Read(table string, key storage.Key, cols []int) (storage.Tuple, bool, error)
+
+	// Write buffers an update of the listed columns. The write is
+	// installed only at commit.
+	Write(table string, key storage.Key, cols []int, vals []storage.Value) error
+
+	// Insert buffers creation of a new record. It fails the
+	// transaction if a visible record already exists under key.
+	Insert(table string, key storage.Key, tuple storage.Tuple) error
+
+	// Delete buffers removal of the record under key.
+	Delete(table string, key storage.Key) error
+
+	// Scan visits visible records with lo <= key <= hi in key order;
+	// fn returning false stops early. limit > 0 caps the rows
+	// visited. The scanned leaf versions are recorded for phantom
+	// validation (§4.7.2).
+	Scan(table string, lo, hi storage.Key, limit int, fn func(key storage.Key, row storage.Tuple) bool) error
+
+	// ScanMin returns the first visible record in [lo, hi], the
+	// phantom-safe "oldest entry" probe.
+	ScanMin(table string, lo, hi storage.Key) (storage.Key, storage.Tuple, bool, error)
+
+	// ScanSec visits visible records via a secondary index in
+	// secondary-key order over [lo, hi].
+	ScanSec(table, index string, lo, hi string, limit int, fn func(pk storage.Key, row storage.Tuple) bool) error
+}
+
+// AbortError is returned (or wrapped) by operation bodies to abort
+// the transaction for application reasons (user rollback, integrity
+// violation). The engine does not retry user aborts.
+type AbortError struct{ Reason string }
+
+func (e *AbortError) Error() string { return "transaction aborted: " + e.Reason }
+
+// UserAbort builds an application-initiated abort error.
+func UserAbort(reason string) error { return &AbortError{Reason: reason} }
+
+// Spec is a stored procedure definition. Plan expands the procedure
+// into its operation list for a given argument vector; the expansion
+// may depend on argument values (loop bounds), never on database
+// state, which keeps the dependency graph static per invocation as
+// required by §3.
+type Spec struct {
+	Name   string
+	Params []string
+	Plan   func(b *Builder, args *Env)
+}
+
+// Builder collects the operations of one invocation in program order.
+type Builder struct {
+	ops []*Op
+}
+
+// Op appends an operation. Returns the operation for tests that want
+// to inspect it.
+func (b *Builder) Op(op Op) *Op {
+	o := op
+	o.ID = len(b.ops)
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("op%d", o.ID)
+	}
+	b.ops = append(b.ops, &o)
+	return b.ops[len(b.ops)-1]
+}
+
+// Instantiate expands the procedure for args and runs the dependency
+// analyzer. The returned Program carries the operations and the
+// program dependency graph.
+func (s *Spec) Instantiate(args *Env) *Program {
+	b := &Builder{}
+	s.Plan(b, args)
+	p := &Program{Spec: s, Ops: b.ops}
+	p.analyze()
+	return p
+}

@@ -1,0 +1,51 @@
+package storage
+
+import "fmt"
+
+// Catalog holds all tables of a database instance.
+type Catalog struct {
+	tables []*Table
+	byName map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table and returns it. Table names must
+// be unique.
+func (c *Catalog) CreateTable(schema Schema) (*Table, error) {
+	if _, dup := c.byName[schema.Name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
+	}
+	t := NewTable(len(c.tables), schema)
+	c.tables = append(c.tables, t)
+	c.byName[schema.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on duplicates (setup
+// code paths where a duplicate is a programming error).
+func (c *Catalog) MustCreateTable(schema Schema) *Table {
+	t, err := c.CreateTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the table with the given name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.byName[name]
+	return t, ok
+}
+
+// TableByID returns the table with the given catalog id.
+func (c *Catalog) TableByID(id int) *Table {
+	return c.tables[id]
+}
+
+// Tables returns all tables in creation order. The returned slice
+// must not be modified.
+func (c *Catalog) Tables() []*Table { return c.tables }

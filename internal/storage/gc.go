@@ -1,0 +1,106 @@
+package storage
+
+import "sync"
+
+// GC reclaims records deleted by committed transactions. Following
+// §4.7.1, a deleted record (visibility bit off) is unlinked from its
+// table's indexes only once its reference counter drops to zero,
+// i.e. no in-flight transaction still holds it in a read/write set.
+//
+// Retire is called by the commit path; Collect runs either from a
+// background goroutine (Start/Stop) or synchronously from tests.
+type GC struct {
+	catalog *Catalog
+
+	mu      sync.Mutex
+	retired []*Record
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewGC returns a collector over the catalog's tables.
+func NewGC(catalog *Catalog) *GC {
+	return &GC{catalog: catalog}
+}
+
+// Retire queues a deleted record for reclamation.
+func (g *GC) Retire(rec *Record) {
+	g.mu.Lock()
+	g.retired = append(g.retired, rec)
+	g.mu.Unlock()
+}
+
+// Collect attempts to unlink every retired record, requeueing those
+// still pinned. It returns the number of records reclaimed.
+func (g *GC) Collect() int {
+	g.mu.Lock()
+	batch := g.retired
+	g.retired = nil
+	g.mu.Unlock()
+
+	reclaimed := 0
+	var remaining []*Record
+	for _, rec := range batch {
+		if rec.Visible() {
+			// Resurrected: a later transaction reused the slot as its
+			// insert target and committed. Drop it from the queue.
+			continue
+		}
+		if g.catalog.TableByID(rec.Table()).unlink(rec) {
+			reclaimed++
+		} else {
+			remaining = append(remaining, rec)
+		}
+	}
+	if len(remaining) > 0 {
+		g.mu.Lock()
+		g.retired = append(g.retired, remaining...)
+		g.mu.Unlock()
+	}
+	return reclaimed
+}
+
+// Pending returns the number of retired-but-unreclaimed records.
+func (g *GC) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.retired)
+}
+
+// Start launches a background goroutine that collects whenever poked
+// via the returned kick function; Stop shuts it down. The engine
+// kicks the collector once per epoch advance.
+func (g *GC) Start() (kick func()) {
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	kickCh := make(chan struct{}, 1)
+	go func() {
+		defer close(g.done)
+		for {
+			select {
+			case <-g.stop:
+				g.Collect()
+				return
+			case <-kickCh:
+				g.Collect()
+			}
+		}
+	}()
+	return func() {
+		select {
+		case kickCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stop terminates the background collector after a final pass.
+func (g *GC) Stop() {
+	if g.stop == nil {
+		return
+	}
+	close(g.stop)
+	<-g.done
+	g.stop = nil
+}

@@ -1,0 +1,45 @@
+package storage
+
+// Key is a 64-bit primary key. Composite keys (for example TPC-C's
+// (warehouse, district, order) triples) are packed into the word with
+// the most significant component first so that numeric order equals
+// lexicographic component order and range scans over a prefix are
+// contiguous.
+type Key uint64
+
+// PackKey packs the given components into a Key. widths gives the bit
+// width of each component; the sum must not exceed 64. Components are
+// laid out most-significant-first.
+func PackKey(parts []uint64, widths []uint8) Key {
+	if len(parts) != len(widths) {
+		panic("storage: PackKey parts/widths length mismatch")
+	}
+	var k uint64
+	var used uint
+	for i, p := range parts {
+		w := uint(widths[i])
+		used += w
+		if used > 64 {
+			panic("storage: PackKey exceeds 64 bits")
+		}
+		if w < 64 && p >= uint64(1)<<w {
+			panic("storage: PackKey component overflows its width")
+		}
+		k = k<<w | p
+	}
+	return Key(k << (64 - used))
+}
+
+// Component extracts the i-th component previously packed with the
+// given widths.
+func (k Key) Component(i int, widths []uint8) uint64 {
+	var off uint = 64
+	for j := 0; j <= i; j++ {
+		off -= uint(widths[j])
+	}
+	w := uint(widths[i])
+	if w == 64 {
+		return uint64(k)
+	}
+	return (uint64(k) >> off) & ((uint64(1) << w) - 1)
+}

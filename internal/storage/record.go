@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Meta word layout (one atomic uint64 per record):
+//
+//	bit  63     lock bit
+//	bit  62     visibility bit
+//	bits 61..32 epoch half of the commit timestamp (30 bits)
+//	bits 31..0  per-thread sequence half of the commit timestamp
+//
+// Packing lock state and timestamp into a single word lets the
+// validation phase read both atomically, exactly as Silo's TID word
+// does and as required by the paper's Algorithm 1.
+const (
+	metaLockBit    = uint64(1) << 63
+	metaVisibleBit = uint64(1) << 62
+	metaTSMask     = metaVisibleBit - 1 // low 62 bits
+
+	// MaxTimestamp is the largest commit timestamp a record can carry.
+	MaxTimestamp = metaTSMask
+)
+
+// MakeTS composes a 62-bit commit timestamp from its epoch (high,
+// 30 bits) and sequence (low, 32 bits) halves.
+func MakeTS(epoch uint32, seq uint32) uint64 {
+	return (uint64(epoch)<<32 | uint64(seq)) & metaTSMask
+}
+
+// SplitTS decomposes a commit timestamp into epoch and sequence halves.
+func SplitTS(ts uint64) (epoch uint32, seq uint32) {
+	return uint32(ts >> 32), uint32(ts)
+}
+
+// addrCounter hands out the global total order used in place of raw
+// memory addresses for deadlock-free lock acquisition. Creation order
+// is as good as address order for the protocol (any global total
+// order works, §4.2.1) and is deterministic for tests.
+var addrCounter atomic.Uint64
+
+// Record is one database row plus its concurrency-control metadata.
+// The tuple is an immutable slice replaced wholesale by writers while
+// they hold the record lock, so optimistic readers never observe a
+// torn row.
+type Record struct {
+	meta  atomic.Uint64
+	tuple atomic.Pointer[Tuple]
+	refs  atomic.Int32 // transactions currently pinning the record (GC)
+	rw    RWLock       // reader/writer lock for the 2PL baseline only
+	addr  uint64       // global lock-order position, fixed at creation
+	key   Key          // primary key, for logging and recovery
+	table int          // owning table id, for logging and recovery
+}
+
+// NewRecord allocates a record holding tuple with the given initial
+// commit timestamp. Visible controls the initial visibility bit:
+// records inserted by an uncommitted transaction start invisible
+// (§4.7.1).
+func NewRecord(table int, key Key, tuple Tuple, ts uint64, visible bool) *Record {
+	r := &Record{addr: addrCounter.Add(1), key: key, table: table}
+	m := ts & metaTSMask
+	if visible {
+		m |= metaVisibleBit
+	}
+	r.meta.Store(m)
+	t := tuple
+	r.tuple.Store(&t)
+	return r
+}
+
+// Addr returns the record's position in the global lock order.
+func (r *Record) Addr() uint64 { return r.addr }
+
+// Key returns the record's primary key.
+func (r *Record) Key() Key { return r.key }
+
+// Table returns the owning table id.
+func (r *Record) Table() int { return r.table }
+
+// Meta atomically reads the record's timestamp, lock bit and
+// visibility bit together.
+func (r *Record) Meta() (ts uint64, locked, visible bool) {
+	m := r.meta.Load()
+	return m & metaTSMask, m&metaLockBit != 0, m&metaVisibleBit != 0
+}
+
+// Timestamp returns the commit timestamp of the record's last writer.
+func (r *Record) Timestamp() uint64 { return r.meta.Load() & metaTSMask }
+
+// Visible reports the visibility bit (§2: off for deleted records and
+// for records inserted by yet-to-be-committed transactions).
+func (r *Record) Visible() bool { return r.meta.Load()&metaVisibleBit != 0 }
+
+// Locked reports whether some transaction holds the record lock.
+func (r *Record) Locked() bool { return r.meta.Load()&metaLockBit != 0 }
+
+// TryLock attempts to set the lock bit, returning false if the record
+// is already locked. It never blocks; this is the primitive behind
+// the no-wait deadlock-prevention policy (§4.2.2).
+func (r *Record) TryLock() bool {
+	for {
+		m := r.meta.Load()
+		if m&metaLockBit != 0 {
+			return false
+		}
+		if r.meta.CompareAndSwap(m, m|metaLockBit) {
+			return true
+		}
+	}
+}
+
+// Lock spins until the record lock is acquired. Safe only when all
+// transactions acquire locks in the global order, which rules out
+// deadlock (§4.2.1).
+func (r *Record) Lock() {
+	for i := 0; ; i++ {
+		if r.TryLock() {
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock clears the lock bit. The caller must hold the lock.
+func (r *Record) Unlock() {
+	for {
+		m := r.meta.Load()
+		if r.meta.CompareAndSwap(m, m&^metaLockBit) {
+			return
+		}
+	}
+}
+
+// SetTimestamp overwrites the commit timestamp. The caller must hold
+// the record lock (Algorithm 3 installs writes before stamping).
+func (r *Record) SetTimestamp(ts uint64) {
+	for {
+		m := r.meta.Load()
+		if r.meta.CompareAndSwap(m, (m&^metaTSMask)|(ts&metaTSMask)) {
+			return
+		}
+	}
+}
+
+// SetVisible sets or clears the visibility bit. The caller must hold
+// the record lock.
+func (r *Record) SetVisible(v bool) {
+	for {
+		m := r.meta.Load()
+		n := m &^ metaVisibleBit
+		if v {
+			n |= metaVisibleBit
+		}
+		if r.meta.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Tuple returns the current row image. The returned slice is
+// immutable and remains valid after concurrent writes (writers swap
+// in a fresh copy).
+func (r *Record) Tuple() Tuple { return *r.tuple.Load() }
+
+// SetTuple installs a new row image. The caller must hold the record
+// lock and must not mutate t afterwards.
+func (r *Record) SetTuple(t Tuple) { r.tuple.Store(&t) }
+
+// Pin increments the reference counter: the calling transaction holds
+// the record in its read/write set, so the garbage collector must not
+// reclaim it (§4.7.1).
+func (r *Record) Pin() { r.refs.Add(1) }
+
+// Unpin releases one reference taken by Pin.
+func (r *Record) Unpin() { r.refs.Add(-1) }
+
+// Refs returns the current reference count (for the GC and tests).
+func (r *Record) Refs() int32 { return r.refs.Load() }

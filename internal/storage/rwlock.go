@@ -1,0 +1,43 @@
+package storage
+
+import "sync/atomic"
+
+// RWLock is a non-blocking reader/writer lock used by the THEDB-2PL
+// baseline (§5: per-record two-phase locking with no-wait deadlock
+// prevention). It is kept separate from the record meta word: the
+// OCC-family protocols use the meta lock bit, 2PL uses this word, and
+// an engine instance runs exactly one protocol, so the two never mix.
+//
+// State: 0 free, -1 held by a writer, n>0 held by n readers.
+type RWLock struct {
+	state atomic.Int32
+}
+
+// TryRLock attempts to take a shared lock without blocking.
+func (l *RWLock) TryRLock() bool {
+	for {
+		s := l.state.Load()
+		if s < 0 {
+			return false
+		}
+		if l.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// RUnlock releases one shared lock.
+func (l *RWLock) RUnlock() { l.state.Add(-1) }
+
+// TryWLock attempts to take the exclusive lock without blocking.
+func (l *RWLock) TryWLock() bool { return l.state.CompareAndSwap(0, -1) }
+
+// WUnlock releases the exclusive lock.
+func (l *RWLock) WUnlock() { l.state.Store(0) }
+
+// TryUpgrade promotes a shared lock to exclusive. It succeeds only
+// when the caller is the sole reader.
+func (l *RWLock) TryUpgrade() bool { return l.state.CompareAndSwap(1, -1) }
+
+// RW returns the record's 2PL lock.
+func (r *Record) RW() *RWLock { return &r.rw }

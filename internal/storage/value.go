@@ -1,0 +1,121 @@
+// Package storage implements THEDB's in-memory record store: typed
+// tuples, records carrying a packed atomic metadata word
+// (lock | visibility | commit timestamp), schemas, tables, and a
+// reference-counted garbage collector for deleted records.
+//
+// The layout follows §2 and §4 of "Transaction Healing: Scaling
+// Optimistic Concurrency Control on Multicores" (SIGMOD 2016): each
+// record keeps (1) the commit timestamp of its last writer, (2) a
+// visibility bit, and (3) a lock bit. All three live in one atomic
+// 64-bit word so that optimistic readers observe lock state and
+// timestamp together, and tuples are immutable slices swapped by
+// atomic pointer so unprotected reads are memory-safe.
+package storage
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the runtime type of a column Value.
+type ValueKind uint8
+
+// Supported column kinds.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// Value is a single column value. It is a small immutable sum type:
+// integers and floats share the numeric slot, strings use the string
+// slot. Value is copied freely; it must never be mutated in place
+// once published in a tuple.
+type Value struct {
+	kind ValueKind
+	num  int64
+	str  string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, num: v} }
+
+// Float returns a floating-point Value. The bit pattern is stored in
+// the numeric slot.
+func Float(v float64) Value { return Value{kind: KindFloat, num: int64(floatBits(v))} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{kind: KindString, str: v} }
+
+// Null is the zero Value.
+var Null = Value{}
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether the value is the SQL-style null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It is valid only for KindInt
+// values; other kinds return the raw numeric slot coerced to int64.
+func (v Value) Int() int64 {
+	if v.kind == KindFloat {
+		return int64(floatFromBits(uint64(v.num)))
+	}
+	return v.num
+}
+
+// Float returns the floating-point payload, coercing integers.
+func (v Value) Float() float64 {
+	if v.kind == KindFloat {
+		return floatFromBits(uint64(v.num))
+	}
+	return float64(v.num)
+}
+
+// Str returns the string payload ("" for non-strings).
+func (v Value) Str() string { return v.str }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String renders the value for debugging and logging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindString:
+		return v.str
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Tuple is one row: a fixed-width slice of column values. Tuples are
+// immutable once installed in a Record; writers build a fresh copy.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that the caller may mutate.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports column-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package tpcc
+
+import (
+	"thedb/internal/det"
+	"thedb/internal/storage"
+)
+
+// DetProcs wraps the five procedures with partition-set functions for
+// the deterministic engine. Partitioning is by warehouse
+// (partition = (w-1) % partitions); ITEM is replicated. A NewOrder
+// with a remote supply warehouse or a Payment for a remote customer
+// locks both partitions — the cross-partition cost Figure 12
+// measures.
+func DetProcs(partitions int) []*det.Proc {
+	part := func(w int64) int { return int((w - 1) % int64(partitions)) }
+	return []*det.Proc{
+		{
+			Spec: newOrderSpec(),
+			Home: func(args []storage.Value) []int {
+				w := args[0].Int()
+				home := []int{part(w)}
+				olCnt := int(args[3].Int())
+				for j := 0; j < olCnt; j++ {
+					if sup := args[7+3*j].Int(); sup != w {
+						home = append(home, part(sup))
+					}
+				}
+				return home
+			},
+		},
+		{
+			Spec: paymentSpec(),
+			Home: func(args []storage.Value) []int {
+				w, cw := args[0].Int(), args[2].Int()
+				if cw != w {
+					return []int{part(w), part(cw)}
+				}
+				return []int{part(w)}
+			},
+		},
+		{
+			Spec: orderStatusSpec(),
+			Home: func(args []storage.Value) []int { return []int{part(args[0].Int())} },
+		},
+		{
+			Spec: deliverySpec(),
+			Home: func(args []storage.Value) []int { return []int{part(args[0].Int())} },
+		},
+		{
+			Spec: stockLevelSpec(),
+			Home: func(args []storage.Value) []int { return []int{part(args[0].Int())} },
+		},
+	}
+}

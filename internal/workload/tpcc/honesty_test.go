@@ -1,0 +1,41 @@
+package tpcc
+
+import (
+	"strings"
+	"testing"
+
+	"thedb/internal/det"
+)
+
+// TestDeclaredVariableHonesty runs the full transaction mix with
+// Env.CheckOp enforcement: every operation body must touch only the
+// environment variables it declared in KeyReads/ValReads/Writes. The
+// dependency analyzer — and with it the healing engine's correctness —
+// rests on these declarations, so a violation here is a soundness bug,
+// not a style issue.
+func TestDeclaredVariableHonesty(t *testing.T) {
+	cfg := testConfig(2)
+	cat := buildCatalog(t, cfg, 2)
+	e := det.NewEngine(cat, 2, 1)
+	e.SetChecked(true)
+	for _, p := range DetProcs(2) {
+		e.MustRegister(p)
+	}
+	w := e.Worker(0)
+	mix := StandardMix()
+	mix.RemotePct = 20 // exercise the remote branches too
+	gen := NewGen(cfg, mix, 0)
+	for i := 0; i < 600; i++ {
+		req := gen.Next()
+		_, err := w.Run(req.Proc, req.Args...)
+		if err == nil {
+			continue
+		}
+		if strings.Contains(err.Error(), "undeclared") {
+			t.Fatalf("%s: %v", req.Proc, err)
+		}
+		if !isUserAbort(err) {
+			t.Fatalf("%s: %v", req.Proc, err)
+		}
+	}
+}

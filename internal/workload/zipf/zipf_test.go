@@ -1,0 +1,106 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestProbabilityRatiosMatchPaperTable2 checks the rank-popularity
+// ratios of Table 2. The paper's *absolute* percentages sum to more
+// than 1 across 1000 keys (e.g. 0.1301 * H(1000, 0.9) ≈ 1.37), so
+// they cannot be an exact Zipf pmf — they were presumably measured as
+// the share of *transactions* touching each key (transactions touch
+// several keys). The ratios between ranks, however, pin down the
+// exponent exactly: P(1)/P(2) = 2^θ and P(1)/P(100) = 100^θ, and
+// those the paper's numbers satisfy (13.01/7.06 ≈ 2^0.9,
+// 13.01/0.21 ≈ 100^0.9). We verify our generator against the ratios.
+func TestProbabilityRatiosMatchPaperTable2(t *testing.T) {
+	for _, theta := range []float64{0.1, 0.5, 0.9} {
+		g := New(1000, theta)
+		if r, want := g.Probability(0)/g.Probability(1), math.Pow(2, theta); math.Abs(r-want) > 1e-9 {
+			t.Errorf("theta=%.1f: P1/P2 = %.4f, want 2^theta = %.4f", theta, r, want)
+		}
+		if r, want := g.Probability(0)/g.Probability(99), math.Pow(100, theta); math.Abs(r-want) > 1e-9 {
+			t.Errorf("theta=%.1f: P1/P100 = %.4f, want 100^theta = %.4f", theta, r, want)
+		}
+	}
+	// Paper ratio spot checks (θ=0.9 row of Table 2).
+	if r := 13.01 / 7.06; math.Abs(r-math.Pow(2, 0.9)) > 0.03 {
+		t.Errorf("paper's own ratio %f deviates from 2^0.9", r)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, 0.7, 0.99} {
+		g := New(500, theta)
+		sum := 0.0
+		for k := uint64(0); k < 500; k++ {
+			sum += g.Probability(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%.2f: probabilities sum to %f", theta, sum)
+		}
+	}
+}
+
+// TestDrawFrequencies draws a large sample and compares empirical
+// frequencies of the hottest keys against the analytic values.
+func TestDrawFrequencies(t *testing.T) {
+	const n = 1000
+	const draws = 400000
+	for _, theta := range []float64{0.5, 0.9} {
+		g := New(n, theta)
+		rng := rand.New(rand.NewSource(99))
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			k := g.Next(rng.Float64())
+			if k >= n {
+				t.Fatalf("draw out of range: %d", k)
+			}
+			counts[k]++
+		}
+		for _, rank := range []uint64{0, 1, 9} {
+			got := float64(counts[rank]) / draws
+			want := g.Probability(rank)
+			if math.Abs(got-want) > want*0.15+0.0005 {
+				t.Errorf("theta=%.1f rank %d: empirical %.4f vs analytic %.4f", theta, rank, got, want)
+			}
+		}
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	g := New(100, 0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[g.Next(rng.Float64())]++
+	}
+	for k, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform draw skewed: key %d count %d", k, c)
+		}
+	}
+}
+
+func TestMonotoneSkew(t *testing.T) {
+	// Higher theta must strictly increase the hottest key's share.
+	prev := 0.0
+	for _, theta := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := New(1000, theta).Probability(0)
+		if p <= prev {
+			t.Fatalf("P(hottest) not increasing at theta=%.1f", theta)
+		}
+		prev = p
+	}
+}
+
+func TestPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	New(0, 0.5)
+}

@@ -1,0 +1,430 @@
+// Package thedb is a main-memory OLTP database engine implementing
+// transaction healing — the concurrency-control mechanism of
+// "Transaction Healing: Scaling Optimistic Concurrency Control on
+// Multicores" (Wu, Chan, Tan; SIGMOD 2016) — together with the
+// baseline protocols its evaluation compares against: conventional
+// OCC, Silo's OCC variant, no-wait two-phase locking, an OCC→2PL
+// hybrid, and an H-Store-style deterministic partitioned engine.
+//
+// # Quick start
+//
+//	db, _ := thedb.Open(thedb.Config{Protocol: thedb.Healing, Workers: 4})
+//	db.MustCreateTable(thedb.Schema{
+//	    Name:    "ACCOUNTS",
+//	    Columns: []thedb.ColumnDef{{Name: "balance", Kind: thedb.KindInt}},
+//	})
+//	db.MustRegister(transferSpec) // a *thedb.Spec stored procedure
+//	db.Start()
+//	defer db.Close()
+//
+//	s := db.Session(0)
+//	env, err := s.Run("Transfer", thedb.Int(1), thedb.Int(20))
+//
+// Stored procedures are written against the declarative operation IR
+// of package proc (re-exported here): each operation declares the
+// variables it consumes — split into key inputs and value inputs —
+// and produces, which is what lets the engine heal an invalidated
+// transaction by restoring only its non-serializable operations
+// instead of aborting it.
+package thedb
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"thedb/internal/core"
+	"thedb/internal/det"
+	"thedb/internal/metrics"
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+	"thedb/internal/wal"
+)
+
+// Re-exported storage types: values, tuples, keys, schemas.
+type (
+	// Value is a single column value.
+	Value = storage.Value
+	// Tuple is one row of column values.
+	Tuple = storage.Tuple
+	// Key is a 64-bit primary key.
+	Key = storage.Key
+	// Schema describes a table.
+	Schema = storage.Schema
+	// ColumnDef describes one column.
+	ColumnDef = storage.ColumnDef
+	// SecondaryDef declares a string-keyed ordered secondary index.
+	SecondaryDef = storage.SecondaryDef
+	// ValueKind discriminates column value types.
+	ValueKind = storage.ValueKind
+)
+
+// Re-exported procedure IR types.
+type (
+	// Spec is a stored procedure definition.
+	Spec = proc.Spec
+	// Op is one operation of a procedure.
+	Op = proc.Op
+	// OpCtx is the execution context handed to operation bodies.
+	OpCtx = proc.OpCtx
+	// Env is a transaction's variable environment.
+	Env = proc.Env
+	// Builder collects a procedure invocation's operations.
+	Builder = proc.Builder
+)
+
+// Value constructors and kinds.
+var (
+	// Int builds an integer value.
+	Int = storage.Int
+	// Float builds a floating-point value.
+	Float = storage.Float
+	// Str builds a string value.
+	Str = storage.Str
+	// Null is the SQL-style null value.
+	Null = storage.Null
+	// UserAbort builds an application-initiated abort error.
+	UserAbort = proc.UserAbort
+	// NewEnv builds an empty variable environment (mainly for
+	// inspecting dependency graphs via Spec.Instantiate).
+	NewEnv = proc.NewEnv
+	// PackKey packs key components into a Key.
+	PackKey = storage.PackKey
+)
+
+// Column kinds.
+const (
+	KindNull   = storage.KindNull
+	KindInt    = storage.KindInt
+	KindFloat  = storage.KindFloat
+	KindString = storage.KindString
+)
+
+// Protocol selects the concurrency-control mechanism.
+type Protocol int
+
+// Protocols, named as the paper's systems (§5).
+const (
+	// Healing is transaction healing (THEDB), the paper's
+	// contribution.
+	Healing Protocol = iota
+	// OCC is conventional optimistic concurrency control with
+	// abort-and-restart (THEDB-OCC).
+	OCC
+	// Silo is Silo's commit protocol (THEDB-SILO).
+	Silo
+	// TPL is no-wait two-phase locking (THEDB-2PL).
+	TPL
+	// Hybrid retries OCC validation failures under 2PL
+	// (THEDB-HYBRID).
+	Hybrid
+	// OCCNoValidate disables OCC validation — non-serializable; it
+	// measures peak no-abort throughput (THEDB-OCC⁻).
+	OCCNoValidate
+	// SiloNoValidate is the Silo analogue (THEDB-SILO⁻).
+	SiloNoValidate
+	// Deterministic is the partitioned single-threaded-per-partition
+	// engine with coarse partition locks (THEDB-DT).
+	Deterministic
+)
+
+// String names the protocol as the paper does.
+func (p Protocol) String() string {
+	if p == Deterministic {
+		return "THEDB-DT"
+	}
+	return core.Protocol(p).String()
+}
+
+// OrderMode selects the global validation order (§4.2.1, §4.5).
+type OrderMode = core.OrderMode
+
+// Validation orders.
+const (
+	// AddrOrder validates in record-address order.
+	AddrOrder = core.AddrOrder
+	// TreeOrder validates in schema-tree order (§4.5), the healing
+	// default.
+	TreeOrder = core.TreeOrder
+	// ReverseTreeOrder is the worst-case order (THEDB-W, App. G).
+	ReverseTreeOrder = core.ReverseTreeOrder
+)
+
+// LogMode selects what the write-ahead log records (Appendix C).
+type LogMode = wal.Mode
+
+// Logging modes.
+const (
+	// ValueLogging logs record after-images.
+	ValueLogging = wal.ValueLogging
+	// CommandLogging logs procedure names and arguments.
+	CommandLogging = wal.CommandLogging
+)
+
+// Config configures a database instance.
+type Config struct {
+	// Protocol selects the concurrency-control mechanism.
+	Protocol Protocol
+
+	// Workers is the number of execution sessions (default 1).
+	Workers int
+
+	// Partitions is the partition count for the Deterministic
+	// protocol (default Workers).
+	Partitions int
+
+	// Order overrides the validation order; zero keeps the protocol
+	// default (TreeOrder for Healing, AddrOrder otherwise).
+	Order OrderMode
+	// OrderSet marks Order as explicitly chosen.
+	OrderSet bool
+
+	// EpochInterval is the commit-epoch period (default 10ms, §4.3).
+	EpochInterval time.Duration
+
+	// DisableAccessCache turns off the per-operation access cache
+	// (Table 4 ablation): healing degrades to abort-and-restart.
+	DisableAccessCache bool
+
+	// DisableReadCopies turns off per-read column copies and with
+	// them false-invalidation elimination (§4.5).
+	DisableReadCopies bool
+
+	// DetailedMetrics enables per-phase timing (Fig. 19).
+	DetailedMetrics bool
+
+	// LogSink, when non-nil, enables durability: worker i's log
+	// stream goes to LogSink(i) (Appendix C).
+	LogSink func(worker int) io.Writer
+
+	// LogMode selects value or command logging.
+	LogMode LogMode
+
+	// MaxLockAttempts bounds no-wait lock retries during healing
+	// membership updates (§4.2.2).
+	MaxLockAttempts int
+}
+
+// DB is a database instance: a catalog of tables plus one engine.
+type DB struct {
+	cfg     Config
+	catalog *storage.Catalog
+	eng     *core.Engine // nil for Deterministic
+	deng    *det.Engine  // nil otherwise
+	logger  *wal.Logger
+	started bool
+}
+
+// Open creates an empty database. Create tables and register
+// procedures, then call Start.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	db := &DB{cfg: cfg, catalog: storage.NewCatalog()}
+	return db, nil
+}
+
+// CreateTable adds a table to the catalog. All tables must be created
+// before Start.
+func (db *DB) CreateTable(schema Schema) error {
+	_, err := db.catalog.CreateTable(schema)
+	return err
+}
+
+// MustCreateTable is CreateTable panicking on error.
+func (db *DB) MustCreateTable(schema Schema) {
+	if err := db.CreateTable(schema); err != nil {
+		panic(err)
+	}
+}
+
+// Register adds a stored procedure. For the Deterministic protocol,
+// use RegisterPartitioned instead so the engine knows the partition
+// set.
+func (db *DB) Register(spec *Spec) error {
+	db.ensureEngines()
+	if db.deng != nil {
+		return fmt.Errorf("thedb: deterministic protocol requires RegisterPartitioned for %q", spec.Name)
+	}
+	return db.eng.Register(spec)
+}
+
+// MustRegister is Register panicking on error.
+func (db *DB) MustRegister(spec *Spec) {
+	if err := db.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterPartitioned adds a stored procedure with its partition-set
+// function (Deterministic protocol only). home must return the
+// partitions the invocation touches given its arguments.
+func (db *DB) RegisterPartitioned(spec *Spec, home func(args []Value) []int) error {
+	db.ensureEngines()
+	if db.deng == nil {
+		return fmt.Errorf("thedb: RegisterPartitioned requires the Deterministic protocol")
+	}
+	return db.deng.Register(&det.Proc{Spec: spec, Home: home})
+}
+
+// MustRegisterPartitioned is RegisterPartitioned panicking on error.
+func (db *DB) MustRegisterPartitioned(spec *Spec, home func(args []Value) []int) {
+	if err := db.RegisterPartitioned(spec, home); err != nil {
+		panic(err)
+	}
+}
+
+func (db *DB) ensureEngines() {
+	if db.eng != nil || db.deng != nil {
+		return
+	}
+	if db.cfg.Protocol == Deterministic {
+		parts := db.cfg.Partitions
+		if parts <= 0 {
+			parts = db.cfg.Workers
+		}
+		db.deng = det.NewEngine(db.catalog, parts, db.cfg.Workers)
+		return
+	}
+	if db.cfg.LogSink != nil {
+		db.logger = wal.NewLogger(db.cfg.LogMode, db.cfg.Workers, db.cfg.LogSink)
+	}
+	db.eng = core.NewEngine(db.catalog, core.Options{
+		Protocol: core.Protocol(db.cfg.Protocol),
+		Workers:  db.cfg.Workers,
+		Order:    db.cfg.Order,
+		// A non-default Order counts as explicitly chosen even
+		// without OrderSet (AddrOrder, the zero value, still needs
+		// the flag).
+		OrderSet:        db.cfg.OrderSet || db.cfg.Order != AddrOrder,
+		EpochInterval:   db.cfg.EpochInterval,
+		NoAccessCache:   db.cfg.DisableAccessCache,
+		NoReadCopies:    db.cfg.DisableReadCopies,
+		DetailedMetrics: db.cfg.DetailedMetrics,
+		MaxLockAttempts: db.cfg.MaxLockAttempts,
+		Logger:          db.logger,
+	})
+}
+
+// Start launches background services (epoch advancer, garbage
+// collector). Population (see Load) must happen before Start or
+// between transactions.
+func (db *DB) Start() {
+	db.ensureEngines()
+	if db.eng != nil && !db.started {
+		db.eng.Start()
+	}
+	db.started = true
+}
+
+// Close stops background services and flushes the log.
+func (db *DB) Close() {
+	if db.eng != nil && db.started {
+		db.eng.Stop()
+	}
+	db.started = false
+}
+
+// Table gives raw (non-transactional) access to a table for
+// population and inspection.
+func (db *DB) Table(name string) (*storage.Table, bool) {
+	return db.catalog.Table(name)
+}
+
+// Catalog exposes the underlying catalog (population helpers,
+// checkpointing).
+func (db *DB) Catalog() *storage.Catalog { return db.catalog }
+
+// Session returns execution context i in [0, Workers). A session
+// must be driven by one goroutine at a time.
+func (db *DB) Session(i int) *Session {
+	db.ensureEngines()
+	if db.deng != nil {
+		return &Session{dw: db.deng.Worker(i)}
+	}
+	return &Session{w: db.eng.Worker(i)}
+}
+
+// Metrics aggregates all sessions' counters over the given wall-clock
+// duration.
+func (db *DB) Metrics(wall time.Duration) *metrics.Aggregate {
+	if db.deng != nil {
+		return db.deng.Metrics(wall)
+	}
+	return db.eng.Metrics(wall)
+}
+
+// ResetMetrics clears all sessions' counters.
+func (db *DB) ResetMetrics() {
+	if db.deng != nil {
+		db.deng.ResetMetrics()
+		return
+	}
+	db.eng.ResetMetrics()
+}
+
+// Checkpoint writes a transaction-consistent snapshot of all visible
+// records. The caller must quiesce transactions first.
+func (db *DB) Checkpoint(w io.Writer) error {
+	return wal.Checkpoint(db.catalog, w)
+}
+
+// LoadCheckpoint restores a snapshot into this (empty) database.
+func (db *DB) LoadCheckpoint(r io.Reader) error {
+	return wal.LoadCheckpoint(db.catalog, r)
+}
+
+// Recover replays value-log streams (Thomas write rule) and returns
+// any command-log entries found for the caller to re-execute in
+// timestamp order via Session.Run.
+func (db *DB) Recover(streams []io.Reader) ([]wal.Command, error) {
+	return wal.Recover(db.catalog, streams)
+}
+
+// Session is one execution thread's handle.
+type Session struct {
+	w  *core.Worker
+	dw *det.Worker
+}
+
+// Run executes a stored procedure to completion, retrying internal
+// conflicts per the configured protocol. It returns the variable
+// environment holding the procedure's outputs, or the application's
+// abort error.
+func (s *Session) Run(procName string, args ...Value) (*Env, error) {
+	if s.dw != nil {
+		return s.dw.Run(procName, args...)
+	}
+	return s.w.Run(procName, args...)
+}
+
+// RunAdhoc executes a procedure as an ad-hoc transaction (§4.8):
+// plain OCC with abort-and-restart, no healing.
+func (s *Session) RunAdhoc(procName string, args ...Value) (*Env, error) {
+	if s.dw != nil {
+		return s.dw.Run(procName, args...)
+	}
+	return s.w.RunAdhoc(procName, args...)
+}
+
+// Transact runs fn as an anonymous ad-hoc transaction — the
+// interactive-query path (§4.8). fn's reads and writes go through the
+// OpCtx primitives; the transaction is serialized with plain OCC and
+// fn may re-run after conflicts, so it must be idempotent apart from
+// its OpCtx effects. Not available on the Deterministic engine, whose
+// execution model requires partition sets known up front.
+func (s *Session) Transact(fn func(ctx OpCtx) error) error {
+	if s.dw != nil {
+		return fmt.Errorf("thedb: Transact is not supported on the deterministic engine")
+	}
+	return s.w.Transact(fn)
+}
+
+// Metrics returns this session's private counters.
+func (s *Session) Metrics() *metrics.Worker {
+	if s.dw != nil {
+		return s.dw.Metrics()
+	}
+	return s.w.Metrics()
+}
