@@ -2,9 +2,11 @@
 // run transactions with value logging and periodic checkpointing,
 // simulate a crash, then rebuild the database from the checkpoint
 // plus the log tail and verify the recovered state is bit-identical.
-// It then repeats the exercise with command logging, where recovery
+// It repeats the exercise with command logging, where recovery
 // re-executes the logged procedure calls instead of applying
-// after-images.
+// after-images, and finishes with a salvage demo: a log torn
+// mid-frame by a crash is recovered back to its epoch-consistent
+// committed prefix.
 //
 //	go run ./examples/recovery
 package main
@@ -14,16 +16,20 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"time"
 
 	"thedb"
 )
 
 const accounts = 16
 
+// workers each get a private log stream; sinks must never be shared.
+const workers = 2
+
 func build(logMode thedb.LogMode, sink func(int) io.Writer) *thedb.DB {
 	db, err := thedb.Open(thedb.Config{
 		Protocol: thedb.Healing,
-		Workers:  2,
+		Workers:  workers,
 		LogSink:  sink,
 		LogMode:  logMode,
 	})
@@ -67,19 +73,30 @@ func populate(db *thedb.DB) {
 	}
 }
 
+// runWorkload spreads deposits over both sessions so both log streams
+// carry entries.
 func runWorkload(db *thedb.DB, n int) {
-	s := db.Session(0)
 	for i := 0; i < n; i++ {
+		s := db.Session(i % workers)
 		if _, err := s.Run("Deposit", thedb.Int(int64(i%accounts)), thedb.Int(int64(i%7+1))); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
+// streamsOf snapshots the per-worker log buffers as readers.
+func streamsOf(logBufs []bytes.Buffer) []io.Reader {
+	rs := make([]io.Reader, len(logBufs))
+	for i := range logBufs {
+		rs[i] = bytes.NewReader(logBufs[i].Bytes())
+	}
+	return rs
+}
+
 func demo(mode thedb.LogMode) {
 	fmt.Printf("--- %s logging ---\n", mode)
-	var logBuf bytes.Buffer
-	db := build(mode, func(int) io.Writer { return &logBuf })
+	logBufs := make([]bytes.Buffer, workers)
+	db := build(mode, func(i int) io.Writer { return &logBufs[i] })
 	populate(db)
 	db.Start()
 
@@ -89,39 +106,40 @@ func demo(mode thedb.LogMode) {
 	if err := db.Checkpoint(&checkpoint); err != nil {
 		log.Fatal(err)
 	}
-	logAtCheckpoint := logBuf.Len()
 
-	// Phase 2: more work, then "crash" (Close flushes the log; a real
-	// crash would lose only the unflushed epoch group).
+	// Phase 2: more work, then a clean shutdown (Close seals, flushes
+	// and syncs every stream; see the salvage demo for the crash case).
 	runWorkload(db, 200)
-	db.Close()
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	var before bytes.Buffer
 	if err := db.Checkpoint(&before); err != nil {
 		log.Fatal(err)
 	}
 
-	// Recovery: checkpoint + the log tail written after it. With
-	// value logging, replaying the WHOLE log over the checkpoint is
-	// also correct — the Thomas write rule discards entries the
-	// checkpoint already contains. We use the full log here, which
-	// exercises exactly that property.
-	_ = logAtCheckpoint
+	// Recovery: checkpoint + the log written after it. With value
+	// logging, replaying the WHOLE log over the checkpoint is also
+	// correct — the Thomas write rule discards entries the checkpoint
+	// already contains. We use the full log here, which exercises
+	// exactly that property.
 	db2 := build(mode, nil)
 	if mode == thedb.CommandLogging {
 		// Command replay needs the initial state (commands rebuild
 		// everything from it).
 		populate(db2)
-		if err := db2.RecoverFrom(nil, []io.Reader{bytes.NewReader(logBuf.Bytes())}); err != nil {
+		if err := db2.RecoverFrom(nil, streamsOf(logBufs)); err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		if err := db2.RecoverFrom(bytes.NewReader(checkpoint.Bytes()),
-			[]io.Reader{bytes.NewReader(logBuf.Bytes())}); err != nil {
+		if err := db2.RecoverFrom(bytes.NewReader(checkpoint.Bytes()), streamsOf(logBufs)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	db2.Close()
+	if err := db2.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	if mode == thedb.CommandLogging {
 		// Command replay re-executes the procedures, assigning fresh
@@ -139,8 +157,65 @@ func demo(mode thedb.LogMode) {
 			log.Fatal("RECOVERY MISMATCH (value log)")
 		}
 	}
+	var logBytes int
+	for i := range logBufs {
+		logBytes += logBufs[i].Len()
+	}
 	fmt.Printf("recovered state identical (%d log bytes, %d checkpoint bytes)\n",
-		logBuf.Len(), checkpoint.Len())
+		logBytes, checkpoint.Len())
+}
+
+// salvageDemo crashes mid-write: one stream loses its tail mid-frame.
+// Strict recovery refuses (and says where); salvage recovery restores
+// the epoch-consistent committed prefix.
+func salvageDemo() {
+	fmt.Println("--- crash salvage ---")
+	logBufs := make([]bytes.Buffer, workers)
+	db := build(thedb.ValueLogging, func(i int) io.Writer { return &logBufs[i] })
+	populate(db)
+	db.Start()
+	// Pace the workload across several epochs so the streams carry
+	// intermediate seals — that is what lets salvage keep a prefix.
+	for batch := 0; batch < 20; batch++ {
+		runWorkload(db, 100)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The crash: stream 0 loses the last 40% of its bytes, cutting a
+	// frame in half.
+	torn := logBufs[0].Bytes()
+	torn = torn[:len(torn)*3/5]
+	streams := func() []io.Reader {
+		rs := streamsOf(logBufs)
+		rs[0] = bytes.NewReader(torn)
+		return rs
+	}
+
+	strictDB := build(thedb.ValueLogging, nil)
+	populate(strictDB)
+	if _, err := strictDB.RecoverWith(streams(), thedb.RecoverOptions{}); err != nil {
+		fmt.Printf("strict mode refuses the damaged log:\n  %v\n", err)
+	} else {
+		log.Fatal("strict recovery accepted a torn log")
+	}
+
+	salvageDB := build(thedb.ValueLogging, nil)
+	populate(salvageDB)
+	rep, err := salvageDB.RecoverWith(streams(), thedb.RecoverOptions{Salvage: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("salvage: durable epoch %d, %d groups applied, %d dropped past the cut, %d torn\n",
+		rep.DurableEpoch, rep.AppliedGroups, rep.DroppedGroups, rep.TornGroups)
+	for _, d := range rep.Damage {
+		fmt.Printf("  damage: %v\n", &d)
+	}
+	if err := salvageDB.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func sameBalances(a, b *thedb.DB) bool {
@@ -159,4 +234,5 @@ func sameBalances(a, b *thedb.DB) bool {
 func main() {
 	demo(thedb.ValueLogging)
 	demo(thedb.CommandLogging)
+	salvageDemo()
 }

@@ -221,7 +221,7 @@ func prepareTPCC(r tpccRun) (func(tpccRun) tpccResult, func()) {
 		for i := 0; i < r.workers; i++ {
 			workers = append(workers, eng.Worker(i))
 		}
-		stopEng = eng.Stop
+		stopEng = func() { _ = eng.Stop() }
 		agg = eng.Metrics
 	}
 
@@ -418,7 +418,7 @@ func prepareSmallbank(r smallbankRun) (func(smallbankRun) smallbankResult, func(
 		}
 		return smallbankResult{agg: eng.Metrics(wall), latency: all}
 	}
-	return run, eng.Stop
+	return run, func() { _ = eng.Stop() }
 }
 
 // smallbankRequest draws one transaction of the uniform six-way mix

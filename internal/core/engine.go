@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"thedb/internal/metrics"
@@ -133,6 +134,15 @@ type Options struct {
 
 	// Logger, when non-nil, receives the commit log (Appendix C).
 	Logger *wal.Logger
+
+	// SyncRetries bounds how often a failed epoch log sync is
+	// retried before the engine degrades to durability-lost
+	// (default 3 retries after the first attempt).
+	SyncRetries int
+
+	// SyncBackoff is the initial delay between sync retries; it
+	// doubles per retry (default 1ms).
+	SyncBackoff time.Duration
 }
 
 // defaults fills unset fields.
@@ -145,6 +155,12 @@ func (o *Options) defaults() {
 	}
 	if o.MaxLockAttempts <= 0 {
 		o.MaxLockAttempts = 4
+	}
+	if o.SyncRetries <= 0 {
+		o.SyncRetries = 3
+	}
+	if o.SyncBackoff <= 0 {
+		o.SyncBackoff = time.Millisecond
 	}
 	if !o.OrderSet {
 		if o.Protocol == Healing {
@@ -164,6 +180,15 @@ type Engine struct {
 	epoch   *EpochManager
 	specs   map[string]*proc.Spec
 	workers []*Worker
+
+	// Durability state (Appendix C group commit, hardened): the
+	// epoch advancer seals and syncs the log streams each tick, so
+	// an epoch is only reported durable once every stream holding
+	// its transactions has reached stable storage.
+	durableEpoch   atomic.Uint32
+	durabilityLost atomic.Bool
+	logSyncs       atomic.Int64
+	logSyncFails   atomic.Int64
 }
 
 // NewEngine builds an engine over the catalog.
@@ -182,24 +207,80 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 	return e
 }
 
-// Start launches the epoch advancer and garbage collector.
+// Start launches the epoch advancer and garbage collector. Each
+// epoch tick also hardens the log: streams are sealed, flushed and
+// synced so that group-committed epochs actually reach stable
+// storage (Appendix C's group commit, made crash-tolerant).
 func (e *Engine) Start() {
 	e.gcKick = e.gc.Start()
-	e.epoch.Start(func(uint32) {
+	e.epoch.Start(func(ep uint32) {
 		if e.gcKick != nil {
 			e.gcKick()
 		}
+		e.syncToStable(ep)
 	})
 }
 
-// Stop halts background services and flushes the log.
-func (e *Engine) Stop() {
+// syncToStable seals and syncs every log stream so all epochs up to
+// cur-2 are on stable storage, then publishes the new durable epoch.
+// The two-epoch lag keeps the seal behind any commit that computed
+// its timestamp just before the previous advance (see DESIGN.md,
+// "Durability & crash recovery"). Transient sink errors are retried
+// with exponential backoff; after SyncRetries failures the engine
+// degrades gracefully — transactions keep committing in memory, and
+// the latched durability-lost state is surfaced via Metrics instead
+// of wedging the advancer.
+func (e *Engine) syncToStable(cur uint32) {
+	if e.opts.Logger == nil || cur < 3 {
+		return
+	}
+	target := cur - 2
+	for attempt := 0; ; attempt++ {
+		err := e.opts.Logger.SealAndSync(target)
+		if err == nil {
+			e.logSyncs.Add(1)
+			if target > e.durableEpoch.Load() {
+				e.durableEpoch.Store(target)
+			}
+			return
+		}
+		e.logSyncFails.Add(1)
+		if attempt >= e.opts.SyncRetries {
+			e.durabilityLost.Store(true)
+			return
+		}
+		time.Sleep(e.opts.SyncBackoff << attempt)
+	}
+}
+
+// Stop halts background services and closes the log: every stream is
+// sealed at the highest epoch reached, flushed and synced. The
+// returned error aggregates all per-stream failures.
+func (e *Engine) Stop() error {
 	e.epoch.Stop()
 	e.gc.Stop()
 	if e.opts.Logger != nil {
-		_ = e.opts.Logger.Close()
+		if err := e.opts.Logger.Close(); err != nil {
+			e.durabilityLost.Store(true)
+			return err
+		}
+		if cur := e.epoch.Current(); cur > e.durableEpoch.Load() {
+			e.durableEpoch.Store(cur)
+		}
 	}
+	return nil
 }
+
+// DurableEpoch returns the highest epoch known to be on stable
+// storage in every log stream (0 when logging is off or nothing has
+// been hardened yet). Transactions with commit epochs at or below it
+// survive any crash.
+func (e *Engine) DurableEpoch() uint32 { return e.durableEpoch.Load() }
+
+// DurabilityLost reports whether a log sync exhausted its retries:
+// the engine is still serving transactions, but durability of recent
+// epochs is no longer guaranteed.
+func (e *Engine) DurabilityLost() bool { return e.durabilityLost.Load() }
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
@@ -249,7 +330,12 @@ func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
 	for i, w := range e.workers {
 		ws[i] = &w.m
 	}
-	return metrics.Merge(wall, ws)
+	a := metrics.Merge(wall, ws)
+	a.DurableEpoch = e.durableEpoch.Load()
+	a.DurabilityLost = e.durabilityLost.Load()
+	a.LogSyncs = e.logSyncs.Load()
+	a.LogSyncFailures = e.logSyncFails.Load()
+	return a
 }
 
 // ResetMetrics clears all workers' collectors (between benchmark

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		n, err := w.Write([]byte("abc"))
+		if n != 3 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if buf.String() != "abcabcabc" || w.Offset() != 9 || w.Tripped() {
+		t.Fatalf("buf=%q off=%d tripped=%v", buf.String(), w.Offset(), w.Tripped())
+	}
+}
+
+func TestShortWriteAtOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.FailAt(5, ShortWrite, nil)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("pre-fault write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("defg")) // bytes 3..6, trigger at 5
+	if n != 2 || err != io.ErrShortWrite {
+		t.Fatalf("faulted write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("delivered %q, want prefix through byte 5", buf.String())
+	}
+	// Wedged: retries at the same offset keep failing.
+	if _, err := w.Write([]byte("x")); err != io.ErrShortWrite {
+		t.Fatalf("retry after short write: %v", err)
+	}
+	w.Disarm()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+}
+
+func TestWriteErrorMode(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	boom := errors.New("boom")
+	w.FailAt(0, WriteError, boom)
+	if _, err := w.Write([]byte("abc")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("bytes leaked through an immediate error: %q", buf.String())
+	}
+	w2 := NewWriter(&buf)
+	w2.FailAt(0, WriteError, nil)
+	if _, err := w2.Write([]byte("abc")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error = %v", err)
+	}
+}
+
+func TestCrashSwallowsSilently(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.FailAt(4, Crash, nil)
+	if n, err := w.Write([]byte("abcdef")); n != 6 || err != nil {
+		t.Fatalf("crash write must report success: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("device got %q, want the pre-crash prefix \"abcd\"", buf.String())
+	}
+	if n, err := w.Write([]byte("ghi")); n != 3 || err != nil {
+		t.Fatalf("post-crash write must still report success: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatal("post-crash bytes reached the device")
+	}
+	if w.Offset() != 9 || !w.Tripped() {
+		t.Fatalf("off=%d tripped=%v", w.Offset(), w.Tripped())
+	}
+}
+
+func TestProbabilisticTripIsDeterministic(t *testing.T) {
+	run := func() int {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.FailProb(0.2, 42, WriteError, nil)
+		writes := 0
+		for i := 0; i < 1000; i++ {
+			if _, err := w.Write([]byte("x")); err != nil {
+				break
+			}
+			writes++
+		}
+		return writes
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different trip points: %d vs %d", a, b)
+	}
+	if a == 1000 {
+		t.Fatal("p=0.2 fault never tripped in 1000 writes")
+	}
+}
+
+func TestScriptedSync(t *testing.T) {
+	w := NewWriter(io.Discard)
+	e1, e2 := errors.New("t1"), errors.New("t2")
+	w.ScriptSync(e1, nil, e2)
+	if err := w.Sync(); !errors.Is(err, e1) {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, e2) {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync after script drained: %v", err)
+	}
+	if w.SyncCalls() != 4 {
+		t.Fatalf("sync calls = %d", w.SyncCalls())
+	}
+}

@@ -93,6 +93,13 @@ type Aggregate struct {
 	Worker
 	Wall    time.Duration
 	Workers int
+
+	// Durability state, filled by the engine (not per-worker; zero
+	// when logging is off or on the deterministic engine).
+	DurableEpoch    uint32 // highest epoch synced to stable storage on every stream
+	DurabilityLost  bool   // a log sync exhausted its retries; recent epochs may not be durable
+	LogSyncs        int64  // successful epoch log syncs
+	LogSyncFailures int64  // failed sync attempts (includes retried ones)
 }
 
 // Merge folds per-worker collectors into one aggregate.

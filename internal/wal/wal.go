@@ -9,6 +9,13 @@
 // in any order: a write is applied only if its timestamp exceeds the
 // record's current timestamp (Thomas write rule), so replay
 // parallelizes trivially.
+//
+// On the wire every entry is wrapped in a length-prefixed CRC32C
+// frame (see frame.go), and streams carry seal entries: seal(E) in a
+// stream promises that no entry with epoch ≤ E appears after it, so
+// recovery can compute the durable epoch — the highest epoch every
+// stream has sealed and synced — and salvage a crash-torn log back
+// to an epoch-consistent committed prefix (see recover.go).
 package wal
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"thedb/internal/storage"
 )
@@ -42,29 +50,44 @@ func (m Mode) String() string {
 	return "value"
 }
 
-// entry kinds on the wire.
+// Entry kinds on the wire (the first payload byte of each frame).
 const (
-	kindWrite   byte = 1
-	kindInsert  byte = 2
-	kindDelete  byte = 3
-	kindCommand byte = 4
-	kindCommit  byte = 5
+	KindWrite   byte = 1
+	KindInsert  byte = 2
+	KindDelete  byte = 3
+	KindCommand byte = 4
+	KindCommit  byte = 5
+	// KindSeal marks an epoch boundary: seal(E) promises that no
+	// entry with epoch ≤ E follows it in this stream.
+	KindSeal byte = 6
 )
+
+// Syncer is the optional sink extension for stable storage: sinks
+// that implement it (os.File does) are synced when an epoch is
+// hardened, and an epoch is only reported durable once every stream's
+// sink has been synced past its seal.
+type Syncer interface {
+	Sync() error
+}
 
 // Logger coordinates per-worker log streams.
 type Logger struct {
 	mode    Mode
 	workers []*WorkerLog
+	sinks   []io.Writer
 }
 
 // NewLogger builds a logger with one stream per worker; sink is
-// called once per worker to obtain its output.
+// called once per worker to obtain its output. Sinks must not be
+// shared between workers: streams flush concurrently.
 func NewLogger(mode Mode, workers int, sink func(worker int) io.Writer) *Logger {
 	l := &Logger{mode: mode}
 	for i := 0; i < workers; i++ {
+		s := sink(i)
+		l.sinks = append(l.sinks, s)
 		l.workers = append(l.workers, &WorkerLog{
 			mode: mode,
-			w:    bufio.NewWriterSize(sink(i), 1<<16),
+			w:    bufio.NewWriterSize(s, 1<<16),
 		})
 	}
 	return l
@@ -76,46 +99,111 @@ func (l *Logger) Mode() Mode { return l.mode }
 // Worker returns worker i's log stream.
 func (l *Logger) Worker(i int) *WorkerLog { return l.workers[i] }
 
-// Close flushes every stream.
-func (l *Logger) Close() error {
-	for _, w := range l.workers {
-		if err := w.Flush(); err != nil {
-			return err
+// SealAndSync seals every stream at the given epoch (clamped so an
+// in-flight commit group is never covered by its own seal), flushes
+// them, and syncs every sink that supports it. It is the epoch
+// advancer's hardening step: once it returns nil, every transaction
+// with commit epoch ≤ epoch is on stable storage in every stream.
+// All per-stream and per-sink failures are aggregated with
+// errors.Join rather than masked by the first one.
+func (l *Logger) SealAndSync(epoch uint32) error {
+	var errs []error
+	for i, wl := range l.workers {
+		if err := wl.sealAndFlush(epoch); err != nil {
+			errs = append(errs, fmt.Errorf("wal: stream %d: %w", i, err))
 		}
 	}
-	return nil
+	errs = append(errs, l.syncSinks())
+	return errors.Join(errs...)
 }
 
-// WorkerLog is a single worker's private log stream. Not safe for
-// concurrent use (by design: one worker, one stream).
+// syncSinks syncs every sink implementing Syncer, aggregating errors.
+func (l *Logger) syncSinks() error {
+	var errs []error
+	for i, s := range l.sinks {
+		sy, ok := s.(Syncer)
+		if !ok {
+			continue
+		}
+		if err := sy.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("wal: sink %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close seals every stream at the highest epoch any stream has
+// reached (the caller must have quiesced the workers), flushes them,
+// and syncs the sinks. Per-stream failures are collected with
+// errors.Join so a multi-stream failure isn't masked by the first.
+func (l *Logger) Close() error {
+	var maxE uint32
+	for _, wl := range l.workers {
+		wl.mu.Lock()
+		if wl.lastEpoch > maxE {
+			maxE = wl.lastEpoch
+		}
+		if wl.sealed > maxE {
+			maxE = wl.sealed
+		}
+		wl.mu.Unlock()
+	}
+	var errs []error
+	for i, wl := range l.workers {
+		if err := wl.closeAt(maxE); err != nil {
+			errs = append(errs, fmt.Errorf("wal: stream %d: %w", i, err))
+		}
+	}
+	errs = append(errs, l.syncSinks())
+	return errors.Join(errs...)
+}
+
+// WorkerLog is a single worker's private log stream. Entry writers
+// are intended for the owning worker (one goroutine); the internal
+// mutex exists so the epoch advancer can seal, flush and sync a
+// stream concurrently with its owner's appends.
 type WorkerLog struct {
-	mode       Mode
+	mode Mode
+
+	mu         sync.Mutex
 	w          *bufio.Writer
-	buf        []byte
-	lastEpoch  uint32
-	hasPending bool
+	buf        []byte // entry scratch
+	frame      []byte // frame scratch
+	lastEpoch  uint32 // epoch of the latest commit group
+	sealed     uint32 // highest epoch sealed in this stream
+	inGroup    bool   // between BeginCommit and EndCommit
+	hasEntries bool   // stream has ever received a frame
 }
 
 // BeginCommit opens a transaction's log record group. In the epoch
-// group-commit scheme, crossing into a new epoch flushes everything
-// buffered for prior epochs first.
+// group-commit scheme, crossing into a new epoch first seals the
+// prior epochs — per-worker commit timestamps are monotone, so once
+// a commit of epoch E begins, no entry with epoch < E can ever
+// follow in this stream — and flushes everything buffered for them.
 func (wl *WorkerLog) BeginCommit(ts uint64) error {
 	epoch, _ := storage.SplitTS(ts)
-	if wl.hasPending && epoch != wl.lastEpoch {
-		if err := wl.Flush(); err != nil {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wl.hasEntries && epoch > wl.lastEpoch {
+		if err := wl.sealLocked(epoch - 1); err != nil {
+			return err
+		}
+		if err := wl.w.Flush(); err != nil {
 			return err
 		}
 	}
 	wl.lastEpoch = epoch
-	wl.hasPending = true
+	wl.inGroup = true
 	return nil
 }
 
 // LogWrite appends a value-log entry for an update of the given
 // columns.
 func (wl *WorkerLog) LogWrite(ts uint64, table int, key storage.Key, cols []int, vals []storage.Value) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	wl.buf = wl.buf[:0]
-	wl.buf = append(wl.buf, kindWrite)
+	wl.buf = append(wl.buf, KindWrite)
 	wl.buf = binary.AppendUvarint(wl.buf, ts)
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(table))
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(key))
@@ -124,14 +212,15 @@ func (wl *WorkerLog) LogWrite(ts uint64, table int, key storage.Key, cols []int,
 		wl.buf = binary.AppendUvarint(wl.buf, uint64(c))
 		wl.buf = appendValue(wl.buf, vals[i])
 	}
-	_, err := wl.w.Write(wl.buf)
-	return err
+	return wl.writeFrameLocked(wl.buf)
 }
 
 // LogInsert appends a value-log entry creating a record.
 func (wl *WorkerLog) LogInsert(ts uint64, table int, key storage.Key, tuple storage.Tuple) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	wl.buf = wl.buf[:0]
-	wl.buf = append(wl.buf, kindInsert)
+	wl.buf = append(wl.buf, KindInsert)
 	wl.buf = binary.AppendUvarint(wl.buf, ts)
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(table))
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(key))
@@ -139,48 +228,112 @@ func (wl *WorkerLog) LogInsert(ts uint64, table int, key storage.Key, tuple stor
 	for _, v := range tuple {
 		wl.buf = appendValue(wl.buf, v)
 	}
-	_, err := wl.w.Write(wl.buf)
-	return err
+	return wl.writeFrameLocked(wl.buf)
 }
 
 // LogDelete appends a value-log entry removing a record.
 func (wl *WorkerLog) LogDelete(ts uint64, table int, key storage.Key) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	wl.buf = wl.buf[:0]
-	wl.buf = append(wl.buf, kindDelete)
+	wl.buf = append(wl.buf, KindDelete)
 	wl.buf = binary.AppendUvarint(wl.buf, ts)
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(table))
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(key))
-	_, err := wl.w.Write(wl.buf)
-	return err
+	return wl.writeFrameLocked(wl.buf)
 }
 
 // LogCommand appends a command-log entry: the stored procedure's name
 // and argument vector.
 func (wl *WorkerLog) LogCommand(ts uint64, procName string, args []storage.Value) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	wl.buf = wl.buf[:0]
-	wl.buf = append(wl.buf, kindCommand)
+	wl.buf = append(wl.buf, KindCommand)
 	wl.buf = binary.AppendUvarint(wl.buf, ts)
 	wl.buf = appendString(wl.buf, procName)
 	wl.buf = binary.AppendUvarint(wl.buf, uint64(len(args)))
 	for _, v := range args {
 		wl.buf = appendValue(wl.buf, v)
 	}
-	_, err := wl.w.Write(wl.buf)
-	return err
+	return wl.writeFrameLocked(wl.buf)
 }
 
-// EndCommit closes the transaction's record group.
+// EndCommit closes the transaction's record group. Recovery only
+// applies groups whose commit entry made it to the log; everything
+// after the last commit entry of a stream is a torn group.
 func (wl *WorkerLog) EndCommit(ts uint64) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	wl.buf = wl.buf[:0]
-	wl.buf = append(wl.buf, kindCommit)
+	wl.buf = append(wl.buf, KindCommit)
 	wl.buf = binary.AppendUvarint(wl.buf, ts)
-	_, err := wl.w.Write(wl.buf)
+	err := wl.writeFrameLocked(wl.buf)
+	wl.inGroup = false
 	return err
 }
 
 // Flush forces buffered entries to the sink (end of epoch group).
 func (wl *WorkerLog) Flush() error {
-	wl.hasPending = false
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	return wl.w.Flush()
+}
+
+// writeFrameLocked wraps payload in a checksummed frame and appends
+// it to the stream buffer. Caller holds wl.mu.
+func (wl *WorkerLog) writeFrameLocked(payload []byte) error {
+	wl.frame = appendFrame(wl.frame[:0], payload)
+	wl.hasEntries = true
+	_, err := wl.w.Write(wl.frame)
+	return err
+}
+
+// sealLocked appends a seal entry for the given epoch if it advances
+// the stream's seal. Caller holds wl.mu and guarantees that no entry
+// with epoch ≤ the sealed epoch will be appended afterwards.
+func (wl *WorkerLog) sealLocked(epoch uint32) error {
+	if epoch == 0 || epoch <= wl.sealed {
+		return nil
+	}
+	wl.buf = wl.buf[:0]
+	wl.buf = append(wl.buf, KindSeal)
+	wl.buf = binary.AppendUvarint(wl.buf, uint64(epoch))
+	if err := wl.writeFrameLocked(wl.buf); err != nil {
+		return err
+	}
+	wl.sealed = epoch
+	return nil
+}
+
+// sealAndFlush seals the stream at target — clamped below an
+// in-flight commit group's epoch, since that group's entries are
+// still being appended — and flushes it to the sink.
+func (wl *WorkerLog) sealAndFlush(target uint32) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wl.inGroup && wl.lastEpoch <= target {
+		if wl.lastEpoch == 0 {
+			target = 0
+		} else {
+			target = wl.lastEpoch - 1
+		}
+	}
+	if err := wl.sealLocked(target); err != nil {
+		return err
+	}
+	return wl.w.Flush()
+}
+
+// closeAt seals the quiesced stream at the given epoch and flushes.
+func (wl *WorkerLog) closeAt(epoch uint32) error {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wl.hasEntries {
+		if err := wl.sealLocked(epoch); err != nil {
+			return err
+		}
+	}
 	return wl.w.Flush()
 }
 
@@ -203,7 +356,14 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-type reader struct{ r *bufio.Reader }
+// byteReader is what the wire decoders need: checkpoints read from a
+// bufio.Reader, frame payloads from a bytes.Reader.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+type reader struct{ r byteReader }
 
 func (rd *reader) uvarint() (uint64, error) { return binary.ReadUvarint(rd.r) }
 
@@ -239,201 +399,4 @@ func (rd *reader) str() (string, error) {
 		return "", err
 	}
 	return string(b), nil
-}
-
-// Command is one decoded command-log entry.
-type Command struct {
-	TS   uint64
-	Proc string
-	Args []storage.Value
-}
-
-// Recover replays value-log streams into the catalog, applying the
-// Thomas write rule: a logged write lands only if its timestamp
-// exceeds the record's current one, so streams may be replayed in any
-// order or in parallel (Appendix C.1). Command entries encountered in
-// the streams are collected and returned for the caller to re-execute
-// (command-logging recovery needs the procedure registry, which lives
-// in the engine).
-func Recover(catalog *storage.Catalog, streams []io.Reader) ([]Command, error) {
-	var cmds []Command
-	for _, s := range streams {
-		rd := &reader{r: bufio.NewReader(s)}
-		for {
-			kind, err := rd.r.ReadByte()
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			if err != nil {
-				return cmds, err
-			}
-			switch kind {
-			case kindWrite:
-				if err := recoverWrite(catalog, rd); err != nil {
-					return cmds, err
-				}
-			case kindInsert:
-				if err := recoverInsert(catalog, rd); err != nil {
-					return cmds, err
-				}
-			case kindDelete:
-				if err := recoverDelete(catalog, rd); err != nil {
-					return cmds, err
-				}
-			case kindCommand:
-				cmd, err := recoverCommand(rd)
-				if err != nil {
-					return cmds, err
-				}
-				cmds = append(cmds, cmd)
-			case kindCommit:
-				if _, err := rd.uvarint(); err != nil {
-					return cmds, err
-				}
-			default:
-				return cmds, fmt.Errorf("wal: bad entry kind %d", kind)
-			}
-		}
-	}
-	return cmds, nil
-}
-
-func recoverWrite(catalog *storage.Catalog, rd *reader) error {
-	ts, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	tid, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	key, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	n, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	cols := make([]int, n)
-	vals := make([]storage.Value, n)
-	for i := range cols {
-		c, err := rd.uvarint()
-		if err != nil {
-			return err
-		}
-		v, err := rd.value()
-		if err != nil {
-			return err
-		}
-		cols[i], vals[i] = int(c), v
-	}
-	tab := catalog.TableByID(int(tid))
-	rec, ok := tab.Peek(storage.Key(key))
-	if !ok {
-		// Write to a record whose insert entry lives in another
-		// stream not yet replayed: materialize it.
-		rec = tab.Put(storage.Key(key), make(storage.Tuple, len(tab.Schema().Columns)), 0)
-	}
-	if rec.Timestamp() > ts {
-		// Thomas write rule: discard strictly older writes. Entries
-		// with equal timestamps belong to the same transaction's
-		// record group and apply in log order.
-		return nil
-	}
-	t := rec.Tuple().Clone()
-	for i, c := range cols {
-		t[c] = vals[i]
-	}
-	rec.SetTuple(t)
-	rec.SetTimestamp(ts)
-	rec.SetVisible(true)
-	return nil
-}
-
-func recoverInsert(catalog *storage.Catalog, rd *reader) error {
-	ts, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	tid, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	key, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	n, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	tuple := make(storage.Tuple, n)
-	for i := range tuple {
-		if tuple[i], err = rd.value(); err != nil {
-			return err
-		}
-	}
-	tab := catalog.TableByID(int(tid))
-	if rec, ok := tab.Peek(storage.Key(key)); ok {
-		if rec.Timestamp() > ts {
-			return nil
-		}
-		rec.SetTuple(tuple)
-		rec.SetTimestamp(ts)
-		rec.SetVisible(true)
-		return nil
-	}
-	tab.Put(storage.Key(key), tuple, ts)
-	return nil
-}
-
-func recoverDelete(catalog *storage.Catalog, rd *reader) error {
-	ts, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	tid, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	key, err := rd.uvarint()
-	if err != nil {
-		return err
-	}
-	tab := catalog.TableByID(int(tid))
-	rec, ok := tab.Peek(storage.Key(key))
-	if !ok {
-		// Delete of a record inserted in a not-yet-replayed stream:
-		// materialize an invisible tombstone carrying the timestamp.
-		rec = tab.Put(storage.Key(key), make(storage.Tuple, len(tab.Schema().Columns)), 0)
-	}
-	if rec.Timestamp() > ts {
-		return nil
-	}
-	rec.SetTimestamp(ts)
-	rec.SetVisible(false)
-	return nil
-}
-
-func recoverCommand(rd *reader) (Command, error) {
-	ts, err := rd.uvarint()
-	if err != nil {
-		return Command{}, err
-	}
-	name, err := rd.str()
-	if err != nil {
-		return Command{}, err
-	}
-	n, err := rd.uvarint()
-	if err != nil {
-		return Command{}, err
-	}
-	args := make([]storage.Value, n)
-	for i := range args {
-		if args[i], err = rd.value(); err != nil {
-			return Command{}, err
-		}
-	}
-	return Command{TS: ts, Proc: name, Args: args}, nil
 }

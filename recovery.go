@@ -11,6 +11,24 @@ import (
 // Command is one decoded command-log entry (see CommandLogging).
 type Command = wal.Command
 
+// RecoverOptions selects strict or salvage recovery; see the wal
+// package for the full contract.
+type RecoverOptions = wal.RecoverOptions
+
+// RecoveryReport carries the recovered command log plus salvage
+// statistics: the durable epoch cut, applied/dropped/torn group
+// counts, and the damage found in each stream.
+type RecoveryReport = wal.RecoveryResult
+
+// CorruptionError describes a damaged log frame: which stream, at
+// what byte offset, and whether the damage is a torn tail (a crash
+// mid-write) or mid-stream corruption (bit rot, truncation upstream).
+type CorruptionError = wal.CorruptionError
+
+// Syncer is the optional interface a LogSink can implement (os.File
+// does) to participate in durable epoch advancement.
+type Syncer = wal.Syncer
+
 // ReplayCommands re-executes command-log entries in commit-timestamp
 // order through session 0. Command logging records the procedure name
 // and argument vector of each committed transaction; because stored
@@ -18,9 +36,15 @@ type Command = wal.Command
 // state, replaying them in the original commit order reconstructs the
 // database (the approach the paper compares against value logging in
 // Appendix C).
+//
+// Commands with equal timestamps (possible across streams from
+// different log generations) are replayed in their input-slice order:
+// the sort is stable. Replay stops at the first command that fails;
+// commands replayed before the failure remain applied, so the caller
+// should treat an error as "restore from scratch", not retry.
 func (db *DB) ReplayCommands(cmds []Command) error {
 	sorted := append([]Command(nil), cmds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
 	s := db.Session(0)
 	for _, c := range sorted {
 		if _, err := s.Run(c.Proc, c.Args...); err != nil {
@@ -33,25 +57,38 @@ func (db *DB) ReplayCommands(cmds []Command) error {
 // RecoverFrom restores the database from a checkpoint (optional, may
 // be nil) plus a set of log streams: value-log entries are applied
 // with the Thomas write rule, command-log entries are re-executed in
-// timestamp order. This is the full Appendix C recovery path.
+// timestamp order. This is the full Appendix C recovery path, in
+// strict mode: any log damage aborts recovery with the log unapplied
+// (the checkpoint, which is loaded first, may already be in place).
+// Use RecoverFromWith for crashed logs.
 //
 // The database must contain the schema (tables created) but no data,
 // and must not be processing transactions.
 func (db *DB) RecoverFrom(checkpoint io.Reader, logs []io.Reader) error {
+	_, err := db.RecoverFromWith(checkpoint, logs, RecoverOptions{})
+	return err
+}
+
+// RecoverFromWith is RecoverFrom under explicit options. With Salvage
+// set, a crashed log's committed prefix is restored: each stream is
+// truncated at its first damaged frame and only commit groups within
+// the epoch-consistent cut are applied (see RecoverOptions). The
+// returned report carries the cut and per-stream damage.
+func (db *DB) RecoverFromWith(checkpoint io.Reader, logs []io.Reader, opts RecoverOptions) (*RecoveryReport, error) {
 	if checkpoint != nil {
 		if err := db.LoadCheckpoint(checkpoint); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	cmds, err := db.Recover(logs)
+	rep, err := db.RecoverWith(logs, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if len(cmds) > 0 {
+	if len(rep.Commands) > 0 {
 		db.Start() // command replay needs a running engine
-		if err := db.ReplayCommands(cmds); err != nil {
-			return err
+		if err := db.ReplayCommands(rep.Commands); err != nil {
+			return rep, err
 		}
 	}
-	return nil
+	return rep, nil
 }

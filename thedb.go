@@ -194,11 +194,23 @@ type Config struct {
 	DetailedMetrics bool
 
 	// LogSink, when non-nil, enables durability: worker i's log
-	// stream goes to LogSink(i) (Appendix C).
+	// stream goes to LogSink(i) (Appendix C). Sinks must not be
+	// shared between workers. Sinks implementing Syncer (os.File
+	// does) are synced on each epoch advance, and an epoch is only
+	// reported durable — see Metrics().DurableEpoch — once every
+	// stream has reached stable storage.
 	LogSink func(worker int) io.Writer
 
 	// LogMode selects value or command logging.
 	LogMode LogMode
+
+	// SyncRetries bounds retries of a failed epoch log sync before
+	// the engine degrades to a durability-lost state (default 3).
+	SyncRetries int
+
+	// SyncBackoff is the initial delay between sync retries,
+	// doubling per retry (default 1ms).
+	SyncBackoff time.Duration
 
 	// MaxLockAttempts bounds no-wait lock retries during healing
 	// membership updates (§4.2.2).
@@ -303,6 +315,8 @@ func (db *DB) ensureEngines() {
 		NoReadCopies:    db.cfg.DisableReadCopies,
 		DetailedMetrics: db.cfg.DetailedMetrics,
 		MaxLockAttempts: db.cfg.MaxLockAttempts,
+		SyncRetries:     db.cfg.SyncRetries,
+		SyncBackoff:     db.cfg.SyncBackoff,
 		Logger:          db.logger,
 	})
 }
@@ -318,12 +332,17 @@ func (db *DB) Start() {
 	db.started = true
 }
 
-// Close stops background services and flushes the log.
-func (db *DB) Close() {
+// Close stops background services and closes the log: every stream
+// is sealed, flushed and synced. The returned error aggregates all
+// per-stream flush and sync failures (errors.Join); a nil return
+// means everything logged so far is on stable storage.
+func (db *DB) Close() error {
+	var err error
 	if db.eng != nil && db.started {
-		db.eng.Stop()
+		err = db.eng.Stop()
 	}
 	db.started = false
+	return err
 }
 
 // Table gives raw (non-transactional) access to a table for
@@ -377,9 +396,23 @@ func (db *DB) LoadCheckpoint(r io.Reader) error {
 
 // Recover replays value-log streams (Thomas write rule) and returns
 // any command-log entries found for the caller to re-execute in
-// timestamp order via Session.Run.
+// timestamp order via Session.Run (or ReplayCommands).
+//
+// Recover is strict: every frame of every stream is checksum-verified
+// before anything is applied. On any error — a corrupt frame, a torn
+// tail, an entry referencing an unknown table or column — the catalog
+// is untouched and the returned commands slice is nil. Use
+// RecoverWith with Salvage set to recover the committed prefix of a
+// crashed log instead.
 func (db *DB) Recover(streams []io.Reader) ([]wal.Command, error) {
 	return wal.Recover(db.catalog, streams)
+}
+
+// RecoverWith replays value-log streams under explicit options,
+// returning salvage statistics alongside any command-log entries.
+// See RecoverOptions for the strict-versus-salvage contract.
+func (db *DB) RecoverWith(streams []io.Reader, opts RecoverOptions) (*RecoveryReport, error) {
+	return wal.RecoverStreams(db.catalog, streams, opts)
 }
 
 // Session is one execution thread's handle.
