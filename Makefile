@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race lint verify bench
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# lint runs the custom concurrency-invariant analyzers (metaencap,
+# unlockpath, syncerr, nondet — see DESIGN.md §9) plus the stock
+# `go vet` passes, which thedb-lint invokes itself.
+lint:
+	$(GO) run ./cmd/thedb-lint ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,82 @@
+// Command thedb-lint is the multichecker for THEDB's custom
+// concurrency-invariant analyzers (internal/analysis): metaencap,
+// unlockpath, syncerr, and nondet. By default it also runs the stock
+// `go vet` passes over the same patterns so `make lint` is one gate.
+//
+// Usage:
+//
+//	thedb-lint [-novet] [-list] [packages...]
+//
+// With no packages, ./... is linted. The exit status is non-zero when
+// any analyzer or vet reports a finding. Individual findings can be
+// suppressed with a trailing or preceding comment:
+//
+//	//thedb:nolint:<analyzer>[,<analyzer>] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"thedb/internal/analysis"
+	"thedb/internal/analysis/ana"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock `go vet` passes")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: thedb-lint [-novet] [-list] [packages...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+
+	pkgs, err := ana.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thedb-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := ana.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thedb-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+		failed = true
+	}
+
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintln(os.Stderr, "thedb-lint: running go vet:", err)
+				os.Exit(2)
+			}
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -62,7 +62,11 @@ func main() {
 		})
 	}
 	db.Start()
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "thedb-shell: closing database:", err)
+		}
+	}()
 	s := db.Session(0)
 
 	fmt.Println("THEDB ad-hoc shell. Statements run as OCC transactions; 'help' lists commands.")

@@ -157,7 +157,11 @@ func main() {
 	db.MustRegister(spec)
 	db.MustRegister(setClientSpec())
 	db.Start()
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("closing database: %v", err)
+		}
+	}()
 
 	// Print the program dependency graph (Figure 3): K = key
 	// dependency, V = value dependency.

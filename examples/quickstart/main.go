@@ -67,7 +67,11 @@ func main() {
 	})
 
 	db.Start()
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("closing database: %v", err)
+		}
+	}()
 
 	// Four sessions hammer the same four counters: every transaction
 	// conflicts with someone, yet healing commits them all without a

@@ -57,7 +57,11 @@ func main() {
 		db.MustRegister(s)
 	}
 	db.Start()
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("closing database: %v", err)
+		}
+	}()
 
 	var wg sync.WaitGroup
 	start := time.Now()

@@ -53,7 +53,11 @@ func main() {
 		db.MustRegister(s)
 	}
 	db.Start()
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("closing database: %v", err)
+		}
+	}()
 
 	fmt.Printf("running %d x %d transactions of the standard mix under %s...\n",
 		*workers, *txns, proto)

@@ -1,0 +1,200 @@
+// Package ana is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver model, built on the standard
+// library only (go/ast, go/types, and export data obtained from
+// `go list -export`). THEDB's custom concurrency-invariant analyzers
+// (see internal/analysis/...) run on top of it, both from the
+// cmd/thedb-lint multichecker and from analysistest-style fixture
+// suites (internal/analysis/anatest).
+//
+// The API deliberately mirrors go/analysis so the analyzers can be
+// ported to the real framework wholesale if the dependency ever
+// becomes available.
+package ana
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //thedb:nolint suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and
+	// the paper section it guards.
+	Doc string
+	// Run executes the check over one package and reports findings
+	// through the pass. A non-nil error aborts the whole lint run
+	// (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving diagnostics sorted by position. Findings on lines covered
+// by a //thedb:nolint comment (see suppressions) are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range pkgDiags {
+			if !sup.covers(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressionSet maps file -> line -> analyzer names suppressed on
+// that line ("*" suppresses all).
+type suppressionSet map[string]map[int]map[string]bool
+
+// suppressions collects //thedb:nolint comments. The form is
+//
+//	//thedb:nolint:name1,name2 — optional free-text reason
+//	//thedb:nolint — optional reason (suppresses every analyzer)
+//
+// A comment suppresses matching findings on its own line (trailing
+// comment) and on the immediately following line (comment on a line
+// of its own above the flagged statement).
+func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	set := suppressionSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//thedb:nolint")
+				if !ok {
+					continue
+				}
+				names := map[string]bool{"*": true}
+				if rest, ok := strings.CutPrefix(text, ":"); ok {
+					names = map[string]bool{}
+					// The analyzer list ends at the first space.
+					list, _, _ := strings.Cut(rest, " ")
+					for _, n := range strings.Split(list, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names[n] = true
+						}
+					}
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = map[string]bool{}
+					}
+					for n := range names {
+						lines[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	names := s[d.Pos.Filename][d.Pos.Line]
+	return names["*"] || names[d.Analyzer]
+}
+
+// ReceiverNamed resolves the named type of a method call's receiver,
+// unwrapping one level of pointer: for a call expression `x.M(...)`
+// it returns the *types.Named of x's type, or nil when the receiver
+// is not a (pointer to a) named type. Analyzers use it to restrict
+// checks to methods of specific types (storage.Record, storage.RWLock).
+func ReceiverNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes
+// through a selector (method call or qualified package function),
+// or nil when the callee is not a selector or not a function.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}

@@ -1,0 +1,191 @@
+package ana_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"thedb/internal/analysis/ana"
+)
+
+// flagme reports every use of an identifier named "flagme".
+var flagme = &ana.Analyzer{
+	Name: "flagme",
+	Doc:  "test analyzer",
+	Run: func(pass *ana.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(id.Pos(), "found flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func checkSource(t *testing.T, src string) *ana.Package {
+	t.Helper()
+	chk := ana.NewChecker(nil)
+	f, err := parser.ParseFile(chk.Fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := chk.Check("example.com/fixture", "", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestNolintSuppression(t *testing.T) {
+	pkg := checkSource(t, `package fixture
+
+var flagme = 1
+
+var other = flagme //thedb:nolint:flagme trailing suppression
+
+//thedb:nolint preceding suppression of every analyzer
+var again = flagme
+
+var unsuppressed = flagme //thedb:nolint:differentpass wrong analyzer name
+`)
+	diags, err := ana.Run([]*ana.Package{pkg}, []*ana.Analyzer{flagme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// The declaration (line 3) and the wrongly-annotated use (line 10)
+	// survive; the two annotated uses are suppressed.
+	if len(diags) != 2 || lines[0] != 3 || lines[1] != 10 {
+		t.Fatalf("got diagnostics %v, want lines [3 10]", diags)
+	}
+}
+
+func parseFuncBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(c bool, xs []int) {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachesExit reports whether the exit is reachable from the entry.
+func reachesExit(g *ana.CFG) bool {
+	seen := map[*ana.CFBlock]bool{}
+	stack := []*ana.CFBlock{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func TestCFGBranchesAndLoops(t *testing.T) {
+	body := parseFuncBody(t, `
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	for _, v := range xs {
+		if v > 3 {
+			break
+		}
+		x += v
+	}
+	_ = x
+`)
+	g := ana.BuildCFG(body)
+	if !reachesExit(g) {
+		t.Fatal("exit not reachable from entry")
+	}
+	if len(g.If) != 2 {
+		t.Fatalf("recorded %d if statements, want 2", len(g.If))
+	}
+	for ifStmt, br := range g.If {
+		if br.Then == nil || br.Else == nil || br.After == nil {
+			t.Fatalf("incomplete branches for if at %v", ifStmt.Pos())
+		}
+	}
+	// Every whole-statement atom must be findable.
+	found := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if blk, _ := g.Find(n); blk != b {
+				t.Fatalf("Find misplaced atom %T", n)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("CFG has no atoms")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	body := parseFuncBody(t, `
+	if c {
+		panic("dead end")
+	}
+	_ = xs
+`)
+	g := ana.BuildCFG(body)
+	// The panic block must have no successors: the path dies there.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						if len(b.Succs) != 0 {
+							t.Fatalf("panic block has successors: %v", b.Succs)
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("panic atom not found in CFG")
+}
+
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := ana.Load("", "thedb/internal/storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "thedb/internal/storage" {
+		t.Fatalf("loaded %v, want exactly thedb/internal/storage", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types.Scope().Lookup("Record") == nil {
+		t.Fatal("storage.Record not in scope after type-check")
+	}
+	hasRecordFile := false
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "record.go") {
+			hasRecordFile = true
+		}
+	}
+	if !hasRecordFile {
+		t.Fatal("record.go not among parsed files")
+	}
+}

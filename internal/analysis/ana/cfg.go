@@ -1,0 +1,349 @@
+package ana
+
+import "go/ast"
+
+// This file is a compact control-flow-graph builder in the spirit of
+// golang.org/x/tools/go/cfg, sufficient for intraprocedural
+// must-reach checks (the unlockpath analyzer). Blocks hold "atoms":
+// simple statements are appended whole, while control-flow statements
+// contribute only their header expressions (an if's condition, a
+// range's operand, ...) so that inspecting a block's nodes never
+// strays into a branch body that belongs to another block.
+
+// CFBlock is one basic block.
+type CFBlock struct {
+	Nodes []ast.Node
+	Succs []*CFBlock
+}
+
+// IfBranches records where an if statement's arms start. Else is the
+// after-block when the statement has no else arm.
+type IfBranches struct {
+	Then, Else, After *CFBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *CFBlock
+	Exit   *CFBlock // every return (and fall-off-the-end) edge leads here
+	Blocks []*CFBlock
+	If     map[*ast.IfStmt]IfBranches
+
+	loc map[ast.Node]cfgLoc
+}
+
+type cfgLoc struct {
+	block *CFBlock
+	index int
+}
+
+// Find locates an atom in the graph, returning its block and index,
+// or (nil, 0) when the node is not an atom (e.g. it is nested inside
+// one, or belongs to a control-flow header that was decomposed).
+func (g *CFG) Find(n ast.Node) (*CFBlock, int) {
+	if g.loc == nil {
+		g.loc = map[ast.Node]cfgLoc{}
+		for _, b := range g.Blocks {
+			for i, a := range b.Nodes {
+				g.loc[a] = cfgLoc{b, i}
+			}
+		}
+	}
+	l, ok := g.loc[n]
+	if !ok {
+		return nil, 0
+	}
+	return l.block, l.index
+}
+
+// BuildCFG constructs the graph for a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{If: map[*ast.IfStmt]IfBranches{}}
+	b := &cfgBuilder{g: g, labels: map[string]*loopTargets{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmt(body)
+	b.edge(b.cur, g.Exit) // falling off the end
+	return g
+}
+
+type loopTargets struct {
+	brk, cont *CFBlock
+}
+
+type cfgBuilder struct {
+	g            *CFG
+	cur          *CFBlock
+	loops        []*loopTargets // innermost last; cont==nil for switch/select
+	labels       map[string]*loopTargets
+	pendingLabel string
+	fallTo       *CFBlock // next case block, for fallthrough
+}
+
+func (b *cfgBuilder) newBlock() *CFBlock {
+	blk := &CFBlock{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// takeLabel consumes the pending label (set by an enclosing
+// LabeledStmt) and registers the given targets under it.
+func (b *cfgBuilder) takeLabel(t *loopTargets) (name string) {
+	if b.pendingLabel == "" {
+		return ""
+	}
+	name = b.pendingLabel
+	b.pendingLabel = ""
+	b.labels[name] = t
+	return name
+}
+
+func (b *cfgBuilder) pushLoop(t *loopTargets) { b.loops = append(b.loops, t) }
+func (b *cfgBuilder) popLoop()                { b.loops = b.loops[:len(b.loops)-1] }
+
+// breakTarget returns the break destination, innermost or labeled.
+func (b *cfgBuilder) breakTarget(label string) *CFBlock {
+	if label != "" {
+		if t := b.labels[label]; t != nil {
+			return t.brk
+		}
+		return b.g.Exit
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].brk != nil {
+			return b.loops[i].brk
+		}
+	}
+	return b.g.Exit
+}
+
+// continueTarget returns the continue destination (loops only).
+func (b *cfgBuilder) continueTarget(label string) *CFBlock {
+	if label != "" {
+		if t := b.labels[label]; t != nil && t.cont != nil {
+			return t.cont
+		}
+		return b.g.Exit
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].cont != nil {
+			return b.loops[i].cont
+		}
+	}
+	return b.g.Exit
+}
+
+// isPanicCall reports whether s is a statement-level call to the
+// predeclared panic: control does not proceed past it, and a path
+// that dies in panic is not a lock leak (the process is unwinding).
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		header := b.cur
+		thenB := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, thenB)
+		branches := IfBranches{Then: thenB, Else: after, After: after}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			branches.Else = elseB
+			b.edge(header, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(header, after)
+		}
+		b.g.If[s] = branches
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		condB := b.newBlock()
+		b.edge(b.cur, condB)
+		bodyB := b.newBlock()
+		postB := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			condB.Nodes = append(condB.Nodes, s.Cond)
+			b.edge(condB, after)
+		}
+		b.edge(condB, bodyB)
+		t := &loopTargets{brk: after, cont: postB}
+		name := b.takeLabel(t)
+		b.pushLoop(t)
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.popLoop()
+		if name != "" {
+			delete(b.labels, name)
+		}
+		b.edge(b.cur, postB)
+		b.cur = postB
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, condB)
+		b.cur = after
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		header.Nodes = append(header.Nodes, s.X)
+		b.edge(b.cur, header)
+		bodyB := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, bodyB)
+		b.edge(header, after)
+		t := &loopTargets{brk: after, cont: header}
+		name := b.takeLabel(t)
+		b.pushLoop(t)
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.popLoop()
+		if name != "" {
+			delete(b.labels, name)
+		}
+		b.edge(b.cur, header)
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.multiway(s)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			b.edge(b.cur, b.breakTarget(label))
+		case "continue":
+			b.edge(b.cur, b.continueTarget(label))
+		case "goto":
+			// Conservative: assume a goto can reach any exit.
+			b.edge(b.cur, b.g.Exit)
+		case "fallthrough":
+			b.edge(b.cur, b.fallTo)
+		}
+		b.cur = b.newBlock() // unreachable continuation
+	default:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s) {
+			b.cur = b.newBlock() // control does not continue past panic
+		}
+	}
+}
+
+// multiway builds switch, type switch, and select statements: the
+// header branches to every clause; clause bodies converge on a shared
+// after-block.
+func (b *cfgBuilder) multiway(s ast.Stmt) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	header := b.cur
+	after := b.newBlock()
+	caseBlocks := make([]*CFBlock, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(header, caseBlocks[i])
+	}
+	t := &loopTargets{brk: after}
+	name := b.takeLabel(t)
+	b.pushLoop(t)
+	savedFall := b.fallTo
+	for i, cl := range clauses {
+		b.cur = caseBlocks[i]
+		b.fallTo = nil
+		if i+1 < len(caseBlocks) {
+			b.fallTo = caseBlocks[i+1]
+		}
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.cur.Nodes = append(b.cur.Nodes, e)
+			}
+			for _, st := range cl.Body {
+				b.stmt(st)
+			}
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cl.Comm)
+			}
+			for _, st := range cl.Body {
+				b.stmt(st)
+			}
+		}
+		b.edge(b.cur, after)
+	}
+	b.fallTo = savedFall
+	b.popLoop()
+	if name != "" {
+		delete(b.labels, name)
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+		// A switch without a default can skip every clause.
+		b.edge(header, after)
+	}
+	b.cur = after
+}

@@ -1,0 +1,23 @@
+// Package analysis registers THEDB's concurrency-invariant analyzers.
+// Each one mechanically enforces a hand-maintained discipline from the
+// paper that code review alone cannot scale: see the individual
+// packages and DESIGN.md §9.
+package analysis
+
+import (
+	"thedb/internal/analysis/ana"
+	"thedb/internal/analysis/metaencap"
+	"thedb/internal/analysis/nondet"
+	"thedb/internal/analysis/syncerr"
+	"thedb/internal/analysis/unlockpath"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*ana.Analyzer {
+	return []*ana.Analyzer{
+		metaencap.Analyzer,
+		nondet.Analyzer,
+		syncerr.Analyzer,
+		unlockpath.Analyzer,
+	}
+}

@@ -1,0 +1,119 @@
+// Package metaencap enforces encapsulation of the record meta word
+// (paper §4.1): the Silo-style atomic word packing the lock bit,
+// visibility bit, and commit timestamp is owned by
+// internal/storage/record.go. Every other file — including the rest
+// of the storage package — must go through Record methods (Meta,
+// TryLock, Unlock, SetTimestamp, ...), which preserve the invariants
+// Algorithm 1 validation depends on (lock state and timestamp are
+// always read and written together, atomically).
+//
+// Two rules:
+//
+//  1. Inside thedb/internal/storage, the meta bit constants
+//     (metaLockBit, metaVisibleBit, metaTSMask) and the Record.meta
+//     field may be referenced only from record.go.
+//  2. Outside the storage package, declaring identifiers with those
+//     names is flagged: re-deriving the bit layout elsewhere is how
+//     a refactor of the meta word silently corrupts a copy.
+package metaencap
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"thedb/internal/analysis/ana"
+)
+
+// StoragePath is the package that owns the meta word.
+const StoragePath = "thedb/internal/storage"
+
+// OwnerFile is the only file allowed to touch meta internals.
+const OwnerFile = "record.go"
+
+var metaConstNames = []string{"metaLockBit", "metaVisibleBit", "metaTSMask"}
+
+// Analyzer is the metaencap pass.
+var Analyzer = &ana.Analyzer{
+	Name: "metaencap",
+	Doc:  "record meta word internals (bit constants, Record.meta) may only be touched in storage/record.go (§4.1)",
+	Run:  run,
+}
+
+func run(pass *ana.Pass) error {
+	if pass.Pkg.Path() == StoragePath {
+		checkStorage(pass)
+		return nil
+	}
+	checkForeign(pass)
+	return nil
+}
+
+// checkStorage flags references to the guarded objects outside
+// record.go within the storage package itself.
+func checkStorage(pass *ana.Pass) {
+	guarded := map[types.Object]bool{}
+	scope := pass.Pkg.Scope()
+	for _, n := range metaConstNames {
+		if o := scope.Lookup(n); o != nil {
+			guarded[o] = true
+		}
+	}
+	if ro := scope.Lookup("Record"); ro != nil {
+		if named, ok := ro.Type().(*types.Named); ok {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if f := st.Field(i); f.Name() == "meta" {
+						guarded[f] = true
+					}
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if name == OwnerFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj != nil && guarded[obj] {
+				pass.Reportf(id.Pos(), "meta word internal %q may only be touched in %s; go through Record methods", id.Name, OwnerFile)
+			}
+			return true
+		})
+	}
+}
+
+// checkForeign flags declarations that re-derive the meta bit layout
+// outside the storage package.
+func checkForeign(pass *ana.Pass) {
+	names := map[string]bool{}
+	for _, n := range metaConstNames {
+		names[n] = true
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil || !names[id.Name] {
+				return true
+			}
+			switch obj.(type) {
+			case *types.Const, *types.Var:
+				pass.Reportf(id.Pos(), "declaration of %q outside %s re-derives the record meta bit layout; import the storage API instead", id.Name, StoragePath)
+			}
+			return true
+		})
+	}
+}

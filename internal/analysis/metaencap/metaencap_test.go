@@ -1,0 +1,12 @@
+package metaencap_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/metaencap"
+)
+
+func TestMetaencap(t *testing.T) {
+	anatest.Run(t, "testdata", metaencap.Analyzer)
+}

@@ -1,0 +1,11 @@
+// Fixture: a foreign package re-deriving the meta bit layout.
+package core
+
+const metaLockBit = uint64(1) << 63 // want `declaration of "metaLockBit" outside thedb/internal/storage re-derives the record meta bit layout`
+
+var metaTSMask = metaLockBit - 1 // want `declaration of "metaTSMask" outside thedb/internal/storage re-derives the record meta bit layout`
+
+// lockOrderBit is an unrelated constant: allowed.
+const lockOrderBit = uint64(1) << 40
+
+func use() uint64 { return metaLockBit ^ metaTSMask ^ lockOrderBit }

@@ -1,0 +1,20 @@
+// Fixture: another file of the storage package poking meta internals
+// directly — exactly what metaencap must catch.
+package storage
+
+// forceUnlock bypasses the Record API from outside record.go.
+func forceUnlock(r *Record) {
+	for {
+		m := r.meta.Load()                                // want `meta word internal "meta" may only be touched in record.go`
+		if r.meta.CompareAndSwap(m, m&^metaLockBit) {     // want `meta word internal "meta" may only be touched in record.go` `meta word internal "metaLockBit" may only be touched in record.go`
+			return
+		}
+	}
+}
+
+// throughAPI goes through Record methods: allowed.
+func throughAPI(r *Record) {
+	if r.TryLock() {
+		r.Unlock()
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture mirror of the real storage package: record.go owns the meta
+// word, so nothing here may be flagged (true negatives).
+package storage
+
+import "sync/atomic"
+
+const (
+	metaLockBit    = uint64(1) << 63
+	metaVisibleBit = uint64(1) << 62
+	metaTSMask     = metaVisibleBit - 1
+)
+
+// Record is the fixture row.
+type Record struct {
+	meta atomic.Uint64
+}
+
+// Meta reads the word atomically.
+func (r *Record) Meta() (ts uint64, locked, visible bool) {
+	m := r.meta.Load()
+	return m & metaTSMask, m&metaLockBit != 0, m&metaVisibleBit != 0
+}
+
+// TryLock sets the lock bit.
+func (r *Record) TryLock() bool {
+	for {
+		m := r.meta.Load()
+		if m&metaLockBit != 0 {
+			return false
+		}
+		if r.meta.CompareAndSwap(m, m|metaLockBit) {
+			return true
+		}
+	}
+}
+
+// Unlock clears the lock bit.
+func (r *Record) Unlock() {
+	for {
+		m := r.meta.Load()
+		if r.meta.CompareAndSwap(m, m&^metaLockBit) {
+			return
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package nondet forbids sources of nondeterminism on the
+// deterministic replay paths: the partitioned THEDB-DT engine
+// (internal/det, which must produce the same schedule for the same
+// input, §5) and command-log replay (ReplayCommands, Appendix C,
+// which reconstructs the database only if stored procedures re-run
+// deterministically in commit order).
+//
+// Flagged inside the scope:
+//
+//   - calls to time.Now / time.Since (wall-clock dependence)
+//   - any use of math/rand or math/rand/v2 (unseeded or
+//     process-global randomness)
+//   - range over a map (iteration order is randomized per run)
+//
+// Wall-clock reads that feed only metrics (not transaction logic) are
+// legitimate; annotate them with //thedb:nolint:nondet and a reason.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"thedb/internal/analysis/ana"
+)
+
+// DetPath is the deterministic engine package.
+const DetPath = "thedb/internal/det"
+
+// ReplayFunc is the command-replay entry point, checked in any package.
+const ReplayFunc = "ReplayCommands"
+
+// Analyzer is the nondet pass.
+var Analyzer = &ana.Analyzer{
+	Name: "nondet",
+	Doc:  "time.Now, math/rand, and map iteration are forbidden in deterministic replay paths (internal/det, ReplayCommands)",
+	Run:  run,
+}
+
+func run(pass *ana.Pass) error {
+	if pass.Pkg.Path() == DetPath {
+		for _, file := range pass.Files {
+			checkRegion(pass, file)
+		}
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == ReplayFunc && fd.Body != nil {
+				checkRegion(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true}
+
+func checkRegion(pass *ana.Pass, region ast.Node) {
+	ast.Inspect(region, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if _, isFunc := obj.(*types.Func); isFunc && forbiddenTimeFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(), "time.%s is nondeterministic and breaks replay equivalence; derive timestamps from the log or annotate metrics-only uses", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(n.Pos(), "%s.%s is nondeterministic and breaks replay equivalence; derive randomness from transaction arguments", obj.Pkg().Path(), obj.Name())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic and breaks replay equivalence; sort the keys first")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	anatest.Run(t, "testdata", nondet.Analyzer)
+}

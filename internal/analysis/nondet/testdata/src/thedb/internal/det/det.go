@@ -1,0 +1,54 @@
+// Fixture mirror of the deterministic engine package: every file in
+// thedb/internal/det is in scope for nondet.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()       // want `time.Now is nondeterministic`
+	return time.Since(start)  // want `time.Since is nondeterministic`
+}
+
+func randomness() int {
+	return rand.Intn(8) // want `math/rand.Intn is nondeterministic`
+}
+
+func mapOrder(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		sum += k
+	}
+	return sum
+}
+
+// sortedOrder consumes the map in sorted-key order; the
+// order-insensitive key-collection loop carries the sanctioned
+// annotation (true negative via suppression).
+func sortedOrder(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //thedb:nolint:nondet key collection is order-insensitive; consumption below is sorted
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// durationsAllowed uses the time package without reading the clock:
+// true negative.
+func durationsAllowed(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+// metricsSuppressed shows the sanctioned escape hatch for
+// metrics-only wall-clock reads.
+func metricsSuppressed() time.Time {
+	return time.Now() //thedb:nolint:nondet latency metrics only, never feeds transaction logic
+}

@@ -1,0 +1,24 @@
+// Fixture: outside internal/det only functions named ReplayCommands
+// are in scope.
+package replay
+
+import "time"
+
+// Command is a fixture log entry.
+type Command struct{ TS uint64 }
+
+// ReplayCommands is in scope wherever it is declared.
+func ReplayCommands(cmds []Command) error {
+	deadline := time.Now() // want `time.Now is nondeterministic`
+	_ = deadline
+	for _, c := range cmds { // slice range: allowed
+		_ = c
+	}
+	return nil
+}
+
+// harvest is an ordinary function: wall-clock reads are fine here
+// (true negative).
+func harvest() time.Time {
+	return time.Now()
+}

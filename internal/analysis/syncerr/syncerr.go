@@ -1,0 +1,110 @@
+// Package syncerr forbids discarding errors from durability-critical
+// flush/sync/close operations. The WAL's group-commit contract
+// (Appendix C; DESIGN.md §8) reports an epoch durable only once every
+// stream has been sealed, flushed, and fsynced — a dropped error from
+// any of those silently forfeits the guarantee while the engine keeps
+// acknowledging commits.
+//
+// A call to a method named Sync, Flush, Close, or SealAndSync that
+// returns exactly one error is flagged when its result is discarded
+// (expression statement, defer, go, or assignment to blank) and
+// either:
+//
+//   - the method is declared in a durability-owning package
+//     (thedb root or thedb/internal/wal), wherever the call appears —
+//     this catches `defer db.Close()` in examples and cmd binaries; or
+//   - the call appears inside thedb/internal/wal itself, whatever the
+//     receiver (os.File.Sync, bufio.Writer.Flush, ...).
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"thedb/internal/analysis/ana"
+)
+
+// GuardMethods are the flagged method names.
+var GuardMethods = map[string]bool{
+	"Sync": true, "Flush": true, "Close": true, "SealAndSync": true,
+}
+
+// GuardPkgs declare durability-critical methods: discarding their
+// errors is flagged from any calling package.
+var GuardPkgs = map[string]bool{
+	"thedb":              true,
+	"thedb/internal/wal": true,
+}
+
+// StrictPkgs are packages where every discarded Sync/Flush/Close
+// error is flagged regardless of the receiver's declaring package.
+var StrictPkgs = map[string]bool{
+	"thedb/internal/wal": true,
+}
+
+// Analyzer is the syncerr pass.
+var Analyzer = &ana.Analyzer{
+	Name: "syncerr",
+	Doc:  "errors from Sync/Flush/Close/SealAndSync on WAL and recovery paths must not be discarded (durability contract, Appendix C)",
+	Run:  run,
+}
+
+func run(pass *ana.Pass) error {
+	strict := StrictPkgs[pass.Pkg.Path()]
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					call, _ = n.Rhs[0].(*ast.CallExpr)
+				}
+			}
+			if call == nil {
+				return true
+			}
+			fn := ana.CalleeFunc(pass.Info, call)
+			if fn == nil || !GuardMethods[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+				return true
+			}
+			if !isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+			declaring := ""
+			if fn.Pkg() != nil {
+				declaring = fn.Pkg().Path()
+			}
+			if !strict && !GuardPkgs[declaring] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error from %s discarded: a dropped sync/close error silently forfeits the durability contract; check it (or annotate with //thedb:nolint:syncerr)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	anatest.Run(t, "testdata", syncerr.Analyzer)
+}

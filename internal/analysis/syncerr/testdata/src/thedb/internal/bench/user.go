@@ -1,0 +1,39 @@
+// Fixture consumer package (not strict): only methods declared by
+// durability-owning packages are guarded here.
+package bench
+
+import (
+	"bufio"
+	"io"
+
+	"thedb/internal/wal"
+)
+
+func dropLoggerClose(l *wal.Logger) {
+	defer l.Close() // want `error from Close discarded`
+}
+
+func dropLoggerSeal(l *wal.Logger) {
+	l.SealAndSync(7) // want `error from SealAndSync discarded`
+}
+
+// dropBufioFlush discards a non-durability Flush: allowed outside the
+// wal package (true negative).
+func dropBufioFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.Flush()
+}
+
+// localCloser has its own Close: not guarded here (true negative).
+type localCloser struct{}
+
+func (localCloser) Close() error { return nil }
+
+func dropLocalClose(c localCloser) {
+	c.Close()
+}
+
+// checked returns the error: true negative.
+func checked(l *wal.Logger) error {
+	return l.Sync()
+}

@@ -1,0 +1,50 @@
+// Fixture mirror of the wal package: inside this package every
+// discarded Sync/Flush/Close error is flagged (strict mode), whatever
+// the receiver — including os.File.
+package wal
+
+import "os"
+
+// Logger is the fixture durability type.
+type Logger struct{}
+
+// Sync flushes to stable storage.
+func (l *Logger) Sync() error { return nil }
+
+// Flush drains buffers.
+func (l *Logger) Flush() error { return nil }
+
+// Close seals and closes.
+func (l *Logger) Close() error { return nil }
+
+// SealAndSync hardens an epoch.
+func (l *Logger) SealAndSync(epoch uint32) error { return nil }
+
+func dropDirect(l *Logger) {
+	l.Sync() // want `error from Sync discarded`
+}
+
+func dropDeferred(l *Logger) {
+	defer l.Close() // want `error from Close discarded`
+}
+
+func dropBlank(l *Logger) {
+	_ = l.SealAndSync(1) // want `error from SealAndSync discarded`
+}
+
+func dropFile(f *os.File) {
+	f.Sync() // want `error from Sync discarded`
+}
+
+// checked handles every error: true negatives.
+func checked(l *Logger, f *os.File) error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			println(err)
+		}
+	}()
+	return l.Sync()
+}

@@ -1,0 +1,51 @@
+// Fixture: the leaked-lock bug classes unlockpath must catch.
+package core
+
+import "thedb/internal/storage"
+
+// leakOnSuccessBranch takes the lock and forgets it entirely.
+func leakOnSuccessBranch(r *storage.Record, work func()) {
+	if r.TryLock() { // want `TryLock acquisition can reach function exit without a matching release`
+		work()
+	}
+}
+
+// leakOnEarlyReturn releases on the happy path but not on the early
+// return — the classic heal/abort-path leak.
+func leakOnEarlyReturn(r *storage.Record, abort bool) error {
+	r.Lock() // want `Lock acquisition can reach function exit without a matching release`
+	if abort {
+		return errRestart
+	}
+	r.Unlock()
+	return nil
+}
+
+// ignoredResult drops the TryLock result on the floor.
+func ignoredResult(r *storage.Record) {
+	r.TryLock() // want `result of TryLock ignored`
+}
+
+// discardedResult explicitly blanks the result: same bug.
+func discardedResult(r *storage.Record) {
+	_ = r.TryLock() // want `result of TryLock discarded`
+}
+
+// escapingResult returns the raw acquisition to the caller, which this
+// intraprocedural check cannot follow.
+func escapingResult(r *storage.Record) bool {
+	return r.TryLock() // want `result of TryLock returned directly`
+}
+
+// leakOnBreak exits the loop holding the write lock.
+func leakOnBreak(rw *storage.RWLock, items []int, stop func(int) bool) {
+	for _, it := range items {
+		if !rw.TryWLock() { // want `TryWLock acquisition can reach function exit without a matching release`
+			continue
+		}
+		if stop(it) {
+			break
+		}
+		rw.WUnlock()
+	}
+}

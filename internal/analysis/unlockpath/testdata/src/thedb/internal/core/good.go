@@ -1,0 +1,106 @@
+// Fixture: lock-discipline patterns that must NOT be flagged (true
+// negatives for unlockpath). The package imports the real storage
+// package so receiver types resolve exactly as in the production tree.
+package core
+
+import (
+	"errors"
+
+	"thedb/internal/storage"
+)
+
+var errRestart = errors.New("restart")
+
+type element struct {
+	rec     *storage.Record
+	locked  bool
+	tplMode uint8
+}
+
+type txn struct {
+	locked []*element
+}
+
+// lockThenDefer releases on every exit via defer.
+func lockThenDefer(r *storage.Record, work func()) {
+	r.Lock()
+	defer r.Unlock()
+	work()
+}
+
+// tryRegister hands the lock to the transaction's bookkeeping on the
+// success branch (the tryLockBounded pattern).
+func tryRegister(t *txn, el *element) bool {
+	for i := 0; i < 8; i++ {
+		if el.rec.TryLock() {
+			el.locked = true
+			t.locked = append(t.locked, el)
+			return true
+		}
+	}
+	return false
+}
+
+// negatedGuard is the `if !Try { return }` no-wait pattern with an
+// explicit release on the straight-line path.
+func negatedGuard(rw *storage.RWLock, work func()) error {
+	if !rw.TryWLock() {
+		return errRestart
+	}
+	work()
+	rw.WUnlock()
+	return nil
+}
+
+// assignForm binds the result first and branches on the variable.
+func assignForm(r *storage.Record, work func()) {
+	ok := r.TryLock()
+	if ok {
+		work()
+		r.Unlock()
+	}
+}
+
+// upgradeInSwitch registers via tplMode inside a switch case (the
+// tplLock pattern).
+func upgradeInSwitch(el *element) error {
+	rw := el.rec.RW()
+	switch el.tplMode {
+	case 2:
+		return nil
+	case 1:
+		if !rw.TryUpgrade() {
+			return errRestart
+		}
+		el.tplMode = 2
+		return nil
+	default:
+		if !rw.TryWLock() {
+			return errRestart
+		}
+		el.tplMode = 2
+		return nil
+	}
+}
+
+// readUnlockLoop releases the shared lock on both loop exits.
+func readUnlockLoop(rw *storage.RWLock, items []int, stop func(int) bool) {
+	if !rw.TryRLock() {
+		return
+	}
+	for _, it := range items {
+		if stop(it) {
+			break
+		}
+	}
+	rw.RUnlock()
+}
+
+// panicPathIsNotALeak: a path that dies in panic is not a leak.
+func panicPathIsNotALeak(r *storage.Record, bad bool) {
+	r.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	r.Unlock()
+}

@@ -1,0 +1,358 @@
+// Package unlockpath verifies the no-wait lock discipline of the
+// healing engine (paper §4.2, Algorithms 1–2): every record-lock or
+// 2PL-lock acquisition in thedb/internal/core must be matched, on
+// every control-flow path from the acquisition to the function's
+// exit, by either
+//
+//   - a release call (Unlock / RUnlock / WUnlock), or
+//   - a registration that hands the lock to the transaction's release
+//     bookkeeping (assigning Element.locked / Element.tplMode, or
+//     appending to Txn.locked, all of which Txn.finish and releaseTPL
+//     later drain), or
+//   - a deferred release.
+//
+// A path that reaches the exit while holding an unregistered lock is
+// exactly the leaked-record-lock bug class on heal/abort paths: the
+// record stays locked forever and every later transaction touching it
+// aborts. The check is intraprocedural over a control-flow graph
+// (ana.BuildCFG); conditional acquisitions (TryLock and friends) are
+// tracked from their success branch.
+//
+// Discarding a Try* result, or returning it directly, is also flagged:
+// the analyzer cannot see the success branch then, and neither can a
+// reviewer.
+package unlockpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thedb/internal/analysis/ana"
+)
+
+// CorePath is the package the discipline applies to.
+const CorePath = "thedb/internal/core"
+
+// StoragePath declares the guarded lock types (Record, RWLock).
+const StoragePath = "thedb/internal/storage"
+
+var acquireMethods = map[string]bool{
+	"Lock": true, "TryLock": true, "TryRLock": true, "TryWLock": true, "TryUpgrade": true,
+}
+
+var releaseMethods = map[string]bool{
+	"Unlock": true, "RUnlock": true, "WUnlock": true,
+}
+
+// regFields are the bookkeeping fields whose assignment transfers
+// release responsibility to Txn.finish / releaseTPL.
+var regFields = map[string]bool{"locked": true, "tplMode": true}
+
+// Analyzer is the unlockpath pass.
+var Analyzer = &ana.Analyzer{
+	Name: "unlockpath",
+	Doc:  "every record/2PL lock acquisition in internal/core must be released or registered on all paths to exit (§4.2.2)",
+	Run:  run,
+}
+
+func run(pass *ana.Pass) error {
+	if pass.Pkg.Path() != CorePath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function literal has its own control flow; analyze
+			// every body as a separate unit.
+			for _, body := range bodies(fd.Body) {
+				checkBody(pass, body)
+			}
+		}
+	}
+	return nil
+}
+
+// bodies returns body plus the bodies of all function literals inside
+// it (recursively).
+func bodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// guardedLockCall reports whether call invokes method (of the given
+// name set) on storage.Record or storage.RWLock.
+func guardedLockCall(info *types.Info, call *ast.CallExpr, names map[string]bool) bool {
+	fn := ana.CalleeFunc(info, call)
+	if fn == nil || !names[fn.Name()] {
+		return false
+	}
+	named := ana.ReceiverNamed(info, call)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != StoragePath {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == "Record" || n == "RWLock"
+}
+
+func checkBody(pass *ana.Pass, body *ast.BlockStmt) {
+	var acquisitions []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body && n != body {
+			return false // separate unit
+		}
+		if call, ok := n.(*ast.CallExpr); ok && guardedLockCall(pass.Info, call, acquireMethods) {
+			acquisitions = append(acquisitions, call)
+		}
+		return true
+	})
+	if len(acquisitions) == 0 {
+		return
+	}
+	g := ana.BuildCFG(body)
+	for _, call := range acquisitions {
+		blk, idx, atom := findAtom(g, call)
+		if blk == nil {
+			continue // e.g. inside a nested FuncLit; handled as its own unit
+		}
+		name := ana.CalleeFunc(pass.Info, call).Name()
+		var starts []cursor
+		if name == "Lock" {
+			starts = []cursor{{blk, idx + 1}}
+		} else {
+			var reported bool
+			starts, reported = trackedStarts(pass, g, call, atom, blk, idx)
+			if reported {
+				continue
+			}
+		}
+		for _, s := range starts {
+			if leaks(pass, g, s) {
+				pass.Reportf(call.Pos(),
+					"%s acquisition can reach function exit without a matching release or write-set registration (leaked record lock, §4.2.2)", name)
+				break
+			}
+		}
+	}
+}
+
+type cursor struct {
+	blk *ana.CFBlock
+	idx int
+}
+
+// findAtom locates the CFG atom containing the call.
+func findAtom(g *ana.CFG, call *ast.CallExpr) (*ana.CFBlock, int, ast.Node) {
+	for _, b := range g.Blocks {
+		for i, a := range b.Nodes {
+			if containsNode(a, call) {
+				return b, i, a
+			}
+		}
+	}
+	return nil, 0, nil
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// trackedStarts resolves where a conditional (Try*) acquisition's
+// held-lock paths begin. reported=true means a diagnostic was already
+// emitted (ignored or escaping result) and no path walk is needed.
+func trackedStarts(pass *ana.Pass, g *ana.CFG, call *ast.CallExpr, atom ast.Node, blk *ana.CFBlock, idx int) (starts []cursor, reported bool) {
+	name := ana.CalleeFunc(pass.Info, call).Name()
+	switch a := atom.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of %s ignored: a successful acquisition would leak (test the result and release or register the lock)", name)
+		return nil, true
+	case *ast.ReturnStmt:
+		pass.Reportf(call.Pos(), "result of %s returned directly: release or registration cannot be verified in this function", name)
+		return nil, true
+	case *ast.AssignStmt:
+		// ok := x.TryLock() — look for the immediately following
+		// `if ok` / `if !ok` in the same block.
+		if len(a.Lhs) == 1 {
+			if id, ok := a.Lhs[0].(*ast.Ident); ok {
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s discarded: a successful acquisition would leak", name)
+					return nil, true
+				}
+				if idx+1 < len(blk.Nodes) {
+					if cond, okc := blk.Nodes[idx+1].(ast.Expr); okc {
+						if br, form := condBranches(g, cond, id.Name); br != nil {
+							switch form {
+							case condDirect:
+								return []cursor{{br.Then, 0}}, false
+							case condNegated:
+								return []cursor{{br.Else, 0}}, false
+							}
+						}
+					}
+				}
+			}
+		}
+		// Unrecognized flow: conservatively assume the lock may be
+		// held on every path from here.
+		return []cursor{{blk, idx + 1}}, false
+	case ast.Expr:
+		// The call sits in a control-flow header: an if condition, a
+		// for condition, a switch tag...
+		for ifStmt, br := range g.If {
+			if ifStmt.Cond == a {
+				switch classifyCond(a, call) {
+				case condDirect:
+					return []cursor{{br.Then, 0}}, false
+				case condNegated:
+					return []cursor{{br.Else, 0}}, false
+				default:
+					// The call is one operand of a larger condition;
+					// the lock may be held in either branch.
+					return []cursor{{blk, idx + 1}}, false
+				}
+			}
+		}
+		return []cursor{{blk, idx + 1}}, false
+	default:
+		return []cursor{{blk, idx + 1}}, false
+	}
+}
+
+type condForm int
+
+const (
+	condDirect condForm = iota
+	condNegated
+	condOther
+)
+
+// classifyCond relates a condition expression to the acquisition call:
+// `x.TryLock()` is direct, `!x.TryLock()` negated, anything else other.
+func classifyCond(cond ast.Expr, call *ast.CallExpr) condForm {
+	switch c := unparen(cond).(type) {
+	case *ast.CallExpr:
+		if c == call {
+			return condDirect
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT && unparen(c.X) == call {
+			return condNegated
+		}
+	}
+	return condOther
+}
+
+// condBranches finds the IfStmt whose condition is exactly the named
+// ident (or its negation) at the given atom.
+func condBranches(g *ana.CFG, cond ast.Expr, name string) (*ana.IfBranches, condForm) {
+	for ifStmt, br := range g.If {
+		if ifStmt.Cond != cond {
+			continue
+		}
+		switch c := unparen(cond).(type) {
+		case *ast.Ident:
+			if c.Name == name {
+				b := br
+				return &b, condDirect
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.NOT {
+				if id, ok := unparen(c.X).(*ast.Ident); ok && id.Name == name {
+					b := br
+					return &b, condNegated
+				}
+			}
+		}
+		return nil, condOther
+	}
+	return nil, condOther
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// leaks walks the CFG from start and reports whether some path
+// reaches the function exit without passing a satisfying atom.
+func leaks(pass *ana.Pass, g *ana.CFG, start cursor) bool {
+	visited := map[*ana.CFBlock]bool{}
+	stack := []cursor{start}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		closed := false
+		for i := c.idx; i < len(c.blk.Nodes); i++ {
+			if satisfies(pass, c.blk.Nodes[i]) {
+				closed = true
+				break
+			}
+		}
+		if closed {
+			continue
+		}
+		for _, succ := range c.blk.Succs {
+			if succ == g.Exit {
+				return true
+			}
+			if !visited[succ] {
+				visited[succ] = true
+				stack = append(stack, cursor{succ, 0})
+			}
+		}
+	}
+	return false
+}
+
+// satisfies reports whether an atom releases the lock or registers it
+// with the transaction's release bookkeeping.
+func satisfies(pass *ana.Pass, atom ast.Node) bool {
+	// Registration: an assignment mentioning .locked or .tplMode
+	// (el.locked = true; t.locked = append(t.locked, el); el.tplMode = tplW).
+	if as, ok := atom.(*ast.AssignStmt); ok {
+		reg := false
+		ast.Inspect(as, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && regFields[sel.Sel.Name] {
+				reg = true
+			}
+			return !reg
+		})
+		if reg {
+			return true
+		}
+	}
+	// Release: a call to Unlock/RUnlock/WUnlock on a guarded type,
+	// whether direct, inside a defer, or inside a deferred closure.
+	found := false
+	ast.Inspect(atom, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && guardedLockCall(pass.Info, call, releaseMethods) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/unlockpath"
+)
+
+func TestUnlockpath(t *testing.T) {
+	anatest.Run(t, "testdata", unlockpath.Analyzer)
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRWLockBasics(t *testing.T) {
+	var l RWLock
+	if !l.TryRLock() || !l.TryRLock() {
+		t.Fatal("two concurrent readers must both acquire")
+	}
+	if l.TryWLock() {
+		t.Fatal("writer must not acquire while readers hold")
+	}
+	l.RUnlock()
+	if l.TryUpgrade() != true {
+		t.Fatal("sole reader must upgrade")
+	}
+	if l.TryRLock() {
+		t.Fatal("reader must not acquire while writer holds")
+	}
+	l.WUnlock()
+	if !l.TryWLock() {
+		t.Fatal("writer must acquire a free lock")
+	}
+	if l.TryUpgrade() {
+		t.Fatal("upgrade must fail when not sole reader")
+	}
+	l.WUnlock()
+}
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", wantSubstr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %v does not contain %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestRUnlockUnderflowPanics(t *testing.T) {
+	var l RWLock
+	mustPanic(t, "RUnlock of RWLock not read-held", l.RUnlock)
+}
+
+func TestRUnlockOfWriterHeldPanics(t *testing.T) {
+	var l RWLock
+	if !l.TryWLock() {
+		t.Fatal("TryWLock on free lock")
+	}
+	mustPanic(t, "RUnlock of RWLock not read-held", l.RUnlock)
+}
+
+func TestWUnlockOfFreePanics(t *testing.T) {
+	var l RWLock
+	mustPanic(t, "WUnlock of RWLock not writer-held", l.WUnlock)
+}
+
+func TestWUnlockOfReadHeldPanics(t *testing.T) {
+	var l RWLock
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free lock")
+	}
+	mustPanic(t, "WUnlock of RWLock not writer-held", l.WUnlock)
+	l.RUnlock() // the misuse must not have dropped the shared hold
+}
