@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench
+.PHONY: build test vet race lint verify bench chaos
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# chaos is the protocol-robustness smoke: the seeded fault-injection
+# torture (with the serializability oracle), the stuck-epoch watchdog,
+# and the degradation-ladder tests, under -race with -short trimming
+# the torture to a handful of seeds (see DESIGN.md §10). Drop -short
+# for the full 64-seed sweep.
+chaos:
+	$(GO) test -race ./internal/fault/ ./internal/oracle/
+	$(GO) test -race -short -run 'Chaos|Watchdog|Ladder|Backoff|Epoch' ./internal/core/
 
 # verify is the pre-merge gate: clean build, vet, and the full suite
 # under the race detector (the crash-torture and concurrency tests are

@@ -14,6 +14,12 @@
 //
 // Wall-clock reads that feed only metrics (not transaction logic) are
 // legitimate; annotate them with //thedb:nolint:nondet and a reason.
+//
+// The protocol engine (internal/core) gets a narrower rule: wall
+// clocks and map iteration are fine there, but math/rand is still
+// forbidden — the seeded fault.Schedule chaos injector is the only
+// sanctioned source of randomness on protocol paths, so chaos runs
+// replay exactly from a seed (DESIGN.md §10).
 package nondet
 
 import (
@@ -26,13 +32,17 @@ import (
 // DetPath is the deterministic engine package.
 const DetPath = "thedb/internal/det"
 
+// CorePath is the protocol engine package, where math/rand is
+// forbidden in favor of the seeded fault.Schedule injector.
+const CorePath = "thedb/internal/core"
+
 // ReplayFunc is the command-replay entry point, checked in any package.
 const ReplayFunc = "ReplayCommands"
 
 // Analyzer is the nondet pass.
 var Analyzer = &ana.Analyzer{
 	Name: "nondet",
-	Doc:  "time.Now, math/rand, and map iteration are forbidden in deterministic replay paths (internal/det, ReplayCommands)",
+	Doc:  "time.Now, math/rand, and map iteration are forbidden in deterministic replay paths (internal/det, ReplayCommands); math/rand alone is forbidden in internal/core, where fault.Schedule is the sanctioned randomness",
 	Run:  run,
 }
 
@@ -40,6 +50,12 @@ func run(pass *ana.Pass) error {
 	if pass.Pkg.Path() == DetPath {
 		for _, file := range pass.Files {
 			checkRegion(pass, file)
+		}
+		return nil
+	}
+	if pass.Pkg.Path() == CorePath {
+		for _, file := range pass.Files {
+			checkRandOnly(pass, file)
 		}
 		return nil
 	}
@@ -54,6 +70,29 @@ func run(pass *ana.Pass) error {
 }
 
 var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true}
+
+// checkRandOnly enforces the internal/core rule: math/rand (and v2)
+// is forbidden on protocol paths, where the seeded fault.Schedule
+// injector is the only sanctioned randomness. Wall clocks and map
+// iteration stay legal — core's timing feeds metrics and backoff,
+// not replayed decisions.
+func checkRandOnly(pass *ana.Pass, region ast.Node) {
+	ast.Inspect(region, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(id.Pos(), "%s.%s: randomness in internal/core must come from the seeded fault.Schedule injector so chaos runs replay from a seed", obj.Pkg().Path(), obj.Name())
+		}
+		return true
+	})
+}
 
 func checkRegion(pass *ana.Pass, region ast.Node) {
 	ast.Inspect(region, func(n ast.Node) bool {

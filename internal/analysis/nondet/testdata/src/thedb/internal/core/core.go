@@ -1,0 +1,46 @@
+// Fixture mirror of the protocol engine package: internal/core allows
+// wall clocks and map iteration but forbids math/rand — the seeded
+// fault.Schedule injector is the only sanctioned randomness there.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"thedb/internal/fault"
+)
+
+// chaosDraw consults the seeded injector: the sanctioned way to make
+// a randomized protocol decision (true negative).
+func chaosDraw(s *fault.Schedule, worker int) bool {
+	act, _ := s.At(worker, fault.PreValidation)
+	return act != fault.ActNone
+}
+
+// jitter derives backoff from a hand-rolled LCG seeded by the worker
+// id: deterministic per worker, no global state (true negative).
+func jitter(state uint64) uint64 {
+	return state*6364136223846793005 + 1442695040888963407
+}
+
+// latency reads the wall clock; core's timing feeds metrics and
+// backoff, not replayed decisions, so this is legal here (true
+// negative — the det-scope rule would flag it).
+func latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// tally ranges over a map; iteration order never reaches a protocol
+// decision in core, so this too is legal here (true negative).
+func tally(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// ambientRand reaches for process-global randomness: forbidden.
+func ambientRand() int {
+	return rand.Intn(8) // want `randomness in internal/core must come from the seeded fault.Schedule injector`
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"thedb/internal/fault"
+	"thedb/internal/oracle"
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+)
+
+// auditSpec builds a read-only procedure summing all account
+// balances. A serializable engine must show it the invariant total at
+// every commit, no matter how hostile the schedule.
+func auditSpec(accounts int) *proc.Spec {
+	return &proc.Spec{
+		Name: "Audit",
+		Plan: func(b *proc.Builder, _ *proc.Env) {
+			b.Op(proc.Op{
+				Name:   "sum",
+				Writes: []string{"total"},
+				Body: func(ctx proc.OpCtx) error {
+					var sum int64
+					for k := 1; k <= accounts; k++ {
+						row, _, err := ctx.Read("BALANCE", storage.Key(k), []int{0})
+						if err != nil {
+							return err
+						}
+						sum += row[0].Int()
+					}
+					ctx.Env().SetInt("total", sum)
+					return nil
+				},
+			})
+		},
+	}
+}
+
+// TestChaosTortureSerializable is the headline robustness test: many
+// distinct seeded hostile schedules × several protocols × contended
+// workers, with the serializability oracle auditing every committed
+// footprint. The workload mixes the paper's transfer example (value
+// and key dependencies, so healing has real repair work), read-only
+// audits that must observe the conserved total at commit time, and
+// per-worker insert/delete churn that drives records through delete,
+// garbage collection and fresh-dummy re-creation.
+func TestChaosTortureSerializable(t *testing.T) {
+	seeds := 64
+	if testing.Short() {
+		seeds = 8
+	}
+	// Healing is the paper's contribution and gets double weight; the
+	// optimistic baselines and the hybrid must survive the same abuse.
+	protos := []Protocol{Healing, Healing, OCC, Silo, Hybrid}
+	for seed := 0; seed < seeds; seed++ {
+		proto := protos[seed%len(protos)]
+		t.Run(fmt.Sprintf("seed=%d/%v", seed, proto), func(t *testing.T) {
+			t.Parallel()
+			runChaosSeed(t, uint64(seed)+1, proto)
+		})
+	}
+}
+
+func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
+	const (
+		accounts = 8
+		workers  = 4
+		txnsPer  = 120
+		initial  = 1000
+	)
+	cat := storage.NewCatalog()
+	for _, name := range []string{"CLIENT", "BALANCE", "BONUS", "CHURN"} {
+		cat.MustCreateTable(storage.Schema{
+			Name:    name,
+			Columns: []storage.ColumnDef{{Name: "v", Kind: storage.KindInt}},
+		})
+	}
+	client, _ := cat.Table("CLIENT")
+	balance, _ := cat.Table("BALANCE")
+	bonus, _ := cat.Table("BONUS")
+	for k := storage.Key(1); k <= accounts; k++ {
+		client.Put(k, storage.Tuple{storage.Int(int64(k%accounts) + 1)}, 0)
+		balance.Put(k, storage.Tuple{storage.Int(initial)}, 0)
+		bonus.Put(k, storage.Tuple{storage.Int(0)}, 0)
+	}
+
+	sched := fault.NewSchedule(seed, workers)
+	sched.SetDelay(2 * time.Microsecond)
+	// "Stalls" here stretch conflict windows by ~a scheduler quantum,
+	// not by watchdog-scale pauses (that scenario has its own test).
+	sched.SetStall(200 * time.Microsecond)
+	sched.Inject(fault.PreValidation, fault.ActYield, 0.15)
+	sched.Inject(fault.PreValidation, fault.ActDelay, 0.10)
+	sched.Inject(fault.PreValidation, fault.ActStall, 0.02)
+	sched.Inject(fault.PreValidation, fault.ActRestart, 0.02)
+	sched.Inject(fault.MidHealing, fault.ActYield, 0.20)
+	sched.Inject(fault.MidHealing, fault.ActDelay, 0.10)
+	sched.Inject(fault.MidHealing, fault.ActRestart, 0.02)
+	sched.Inject(fault.CommitApply, fault.ActYield, 0.15)
+	sched.Inject(fault.CommitApply, fault.ActDelay, 0.10)
+	sched.Inject(fault.CommitApply, fault.ActRestart, 0.01)
+	sched.Inject(fault.PreEpochAdvance, fault.ActDelay, 0.30)
+	sched.Inject(fault.PostEpochAdvance, fault.ActYield, 0.30)
+
+	orc := oracle.NewRecorder(workers)
+	e := NewEngine(cat, Options{
+		Protocol:      proto,
+		Workers:       workers,
+		EpochInterval: time.Millisecond,
+		Interleave:    true,
+		Chaos:         sched,
+		Oracle:        orc,
+		// Generous per-rung budget: the ladder engages under the
+		// injected restart storms without normally exhausting; a
+		// transaction that does exhaust is shed, not a failure.
+		RetryBudget: 64,
+	})
+	e.MustRegister(transferSpec())
+	e.MustRegister(auditSpec(accounts))
+	e.Start()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := e.Worker(wi)
+			// Worker-local deterministic LCG for argument choice.
+			rng := seed*2862933555777941757 + uint64(wi) + 1
+			next := func(n int64) int64 {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int64((rng >> 33) % uint64(n))
+			}
+			for i := 0; i < txnsPer; i++ {
+				var err error
+				switch i % 5 {
+				case 3: // insert/delete churn on worker-private keys
+					key := storage.Key(10_000 + int64(wi)*1_000 + next(5))
+					err = w.Transact(func(ctx proc.OpCtx) error {
+						_, vis, rerr := ctx.Read("CHURN", key, nil)
+						if rerr != nil {
+							return rerr
+						}
+						if vis {
+							return ctx.Delete("CHURN", key)
+						}
+						return ctx.Insert("CHURN", key, storage.Tuple{storage.Int(int64(i))})
+					})
+				case 4: // read-only audit: must see the conserved total
+					var env *proc.Env
+					env, err = w.Run("Audit")
+					if err == nil {
+						if got := env.Int("total"); got != accounts*initial {
+							errCh <- fmt.Errorf("worker %d audit saw total %d, want %d", wi, got, accounts*initial)
+							return
+						}
+					}
+				default:
+					src := storage.Int(next(accounts) + 1)
+					amt := storage.Int(next(50))
+					_, err = w.Run("Transfer", src, amt)
+				}
+				if err != nil && !errors.Is(err, ErrContended) {
+					errCh <- fmt.Errorf("worker %d txn %d: %w", wi, i, err)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The schedule must actually have perturbed the run.
+	injected := sched.Total(fault.ActYield) + sched.Total(fault.ActDelay) +
+		sched.Total(fault.ActStall) + sched.Total(fault.ActRestart)
+	if injected == 0 {
+		t.Fatalf("chaos schedule injected nothing")
+	}
+
+	// Physical invariant: transfers conserve money.
+	var total int64
+	for k := storage.Key(1); k <= accounts; k++ {
+		rec, _ := balance.Peek(k)
+		total += rec.Tuple()[0].Int()
+	}
+	if total != accounts*initial {
+		t.Errorf("total balance = %d, want %d (money created or destroyed)", total, accounts*initial)
+	}
+
+	// Protocol invariant: the committed history is serializable.
+	viols := orc.Check()
+	for i, v := range viols {
+		if i == 5 {
+			break
+		}
+		t.Errorf("oracle: %v", v)
+	}
+	if len(viols) > 0 {
+		t.Fatalf("seed %d under %v: %d serializability violations over %d commits",
+			seed, proto, len(viols), len(orc.Commits()))
+	}
+	if len(orc.Commits()) == 0 {
+		t.Fatalf("oracle recorded no commits")
+	}
+}
+
+// TestChaosForcedStallTripsWatchdog scripts a single long stall into
+// one worker's pre-validation checkpoint and checks the stuck-epoch
+// watchdog detects it: the worker stays registered while the epoch
+// races ahead, the trip is latched and surfaced through Metrics, and
+// the stalled transaction still commits afterwards.
+func TestChaosForcedStallTripsWatchdog(t *testing.T) {
+	cat := storage.NewCatalog()
+	cat.MustCreateTable(storage.Schema{
+		Name:    "BALANCE",
+		Columns: []storage.ColumnDef{{Name: "v", Kind: storage.KindInt}},
+	})
+	tab, _ := cat.Table("BALANCE")
+	tab.Put(1, storage.Tuple{storage.Int(7)}, 0)
+
+	sched := fault.NewSchedule(1, 2)
+	sched.SetStall(100 * time.Millisecond)
+	sched.StallAt(1, fault.PreValidation, 0)
+
+	e := NewEngine(cat, Options{
+		Protocol:      Healing,
+		Workers:       2,
+		EpochInterval: time.Millisecond,
+		WatchdogLag:   5,
+		Chaos:         sched,
+	})
+	e.Start()
+	defer e.Stop()
+
+	err := e.Worker(1).Transact(func(ctx proc.OpCtx) error {
+		row, _, err := ctx.Read("BALANCE", 1, []int{0})
+		if err != nil {
+			return err
+		}
+		return ctx.Write("BALANCE", 1, []int{0}, []storage.Value{storage.Int(row[0].Int() + 1)})
+	})
+	if err != nil {
+		t.Fatalf("stalled transaction failed: %v", err)
+	}
+	if trips := e.Epoch().Trips(1); trips < 1 {
+		t.Fatalf("watchdog trips for stalled worker = %d, want >= 1", trips)
+	}
+	if trips := e.Epoch().Trips(0); trips != 0 {
+		t.Fatalf("watchdog tripped for idle worker 0 (%d times)", trips)
+	}
+	if got := e.Metrics(time.Second).WatchdogTrips; got < 1 {
+		t.Fatalf("aggregate WatchdogTrips = %d, want >= 1", got)
+	}
+	if sched.Count(fault.PreValidation, fault.ActStall) != 1 {
+		t.Fatalf("scripted stall did not fire exactly once")
+	}
+}
+
+// TestDegradationLadderExhaustsToErrContended drives every attempt
+// into a spurious restart and checks the full deterministic descent:
+// RetryBudget failed attempts on the Healing rung, escalation to OCC,
+// then to 2PL, then the typed ErrContended — with the fallback and
+// exhaustion counters accounting for each step.
+func TestDegradationLadderExhaustsToErrContended(t *testing.T) {
+	const budget = 4
+	cat := storage.NewCatalog()
+	cat.MustCreateTable(storage.Schema{
+		Name:    "BALANCE",
+		Columns: []storage.ColumnDef{{Name: "v", Kind: storage.KindInt}},
+	})
+	tab, _ := cat.Table("BALANCE")
+	tab.Put(1, storage.Tuple{storage.Int(0)}, 0)
+
+	sched := fault.NewSchedule(3, 1)
+	sched.Inject(fault.PreValidation, fault.ActRestart, 1.0)
+
+	e := NewEngine(cat, Options{
+		Protocol:    Healing,
+		Workers:     1,
+		Chaos:       sched,
+		RetryBudget: budget,
+	})
+	// A registered (non-ad-hoc) procedure, so the ladder starts on the
+	// Healing rung; ad-hoc transactions would begin at OCC (§4.8).
+	e.MustRegister(&proc.Spec{
+		Name: "ReadOne",
+		Plan: func(b *proc.Builder, _ *proc.Env) {
+			b.Op(proc.Op{Name: "read", Body: func(ctx proc.OpCtx) error {
+				_, _, err := ctx.Read("BALANCE", 1, nil)
+				return err
+			}})
+		},
+	})
+	w := e.Worker(0)
+	_, err := w.Run("ReadOne")
+	if !errors.Is(err, ErrContended) {
+		t.Fatalf("err = %v, want ErrContended", err)
+	}
+	m := w.Metrics()
+	// Three rungs × budget attempts, every one restarted.
+	if m.Restarts != 3*budget {
+		t.Errorf("restarts = %d, want %d", m.Restarts, 3*budget)
+	}
+	if m.HealingFallbacks != 2 {
+		t.Errorf("fallbacks = %d, want 2 (Healing→OCC, OCC→2PL)", m.HealingFallbacks)
+	}
+	if m.BudgetExhausted != 1 {
+		t.Errorf("budget exhaustions = %d, want 1", m.BudgetExhausted)
+	}
+	if m.Aborted != 1 {
+		t.Errorf("aborted = %d, want 1", m.Aborted)
+	}
+	if m.Committed != 0 {
+		t.Errorf("committed = %d, want 0", m.Committed)
+	}
+	if got := sched.Count(fault.PreValidation, fault.ActRestart); got != 3*budget {
+		t.Errorf("injected restarts = %d, want %d", got, 3*budget)
+	}
+}
+
+// TestDegradationLadderRecoversMidway scripts exactly one rung's
+// worth of restarts: the transaction must escalate once, then commit
+// on the OCC rung instead of exhausting.
+func TestDegradationLadderRecoversMidway(t *testing.T) {
+	const budget = 4
+	cat := storage.NewCatalog()
+	cat.MustCreateTable(storage.Schema{
+		Name:    "BALANCE",
+		Columns: []storage.ColumnDef{{Name: "v", Kind: storage.KindInt}},
+	})
+	tab, _ := cat.Table("BALANCE")
+	tab.Put(1, storage.Tuple{storage.Int(0)}, 0)
+
+	sched := fault.NewSchedule(4, 1)
+	for visit := 0; visit < budget; visit++ {
+		sched.ScriptAt(0, fault.PreValidation, visit, fault.ActRestart)
+	}
+
+	e := NewEngine(cat, Options{
+		Protocol:    Healing,
+		Workers:     1,
+		Chaos:       sched,
+		RetryBudget: budget,
+	})
+	e.MustRegister(&proc.Spec{
+		Name: "Incr",
+		Plan: func(b *proc.Builder, _ *proc.Env) {
+			b.Op(proc.Op{Name: "incr", Body: func(ctx proc.OpCtx) error {
+				row, _, err := ctx.Read("BALANCE", 1, []int{0})
+				if err != nil {
+					return err
+				}
+				return ctx.Write("BALANCE", 1, []int{0}, []storage.Value{storage.Int(row[0].Int() + 1)})
+			}})
+		},
+	})
+	w := e.Worker(0)
+	if _, err := w.Run("Incr"); err != nil {
+		t.Fatalf("transaction failed: %v", err)
+	}
+	m := w.Metrics()
+	if m.Committed != 1 {
+		t.Errorf("committed = %d, want 1", m.Committed)
+	}
+	if m.Restarts != budget {
+		t.Errorf("restarts = %d, want %d", m.Restarts, budget)
+	}
+	if m.HealingFallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1 (Healing→OCC only)", m.HealingFallbacks)
+	}
+	if m.BudgetExhausted != 0 {
+		t.Errorf("budget exhaustions = %d, want 0", m.BudgetExhausted)
+	}
+	rec, _ := tab.Peek(1)
+	if got := rec.Tuple()[0].Int(); got != 1 {
+		t.Errorf("balance = %d, want 1 (the OCC-rung attempt must have applied)", got)
+	}
+}
+
+// TestBackoffReturnsOnEngineStop: once the engine stops, sleeping
+// retriers must wake immediately — 1000 maximum-window backoffs after
+// Stop complete in far less time than a single one would take asleep.
+func TestBackoffReturnsOnEngineStop(t *testing.T) {
+	e := NewEngine(storage.NewCatalog(), Options{Workers: 1})
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	w := e.Worker(0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		w.backoff(10) // max jitter window: up to 256µs each if asleep
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("1000 post-stop backoffs took %v; stop signal not honored", elapsed)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "thedb/internal/wal"
+import (
+	"thedb/internal/fault"
+	"thedb/internal/oracle"
+	"thedb/internal/wal"
+)
 
 // commit is Algorithm 3: compute the commit timestamp, install the
 // buffered writes, stamp and log them, then release locks and pins.
@@ -8,6 +12,12 @@ import "thedb/internal/wal"
 // elements for healing/OCC, the write set for Silo, 2PL locks for
 // TPL).
 func (t *Txn) commit(procName string) error {
+	// Chaos checkpoint: the write phase is where lock hold times are
+	// longest, so perturbations here hurt most; a restart drawn here
+	// exercises the full-abort cleanup before anything is installed.
+	if err := t.w.chaosPoint(fault.CommitApply); err != nil {
+		return err
+	}
 	// (a) the commit timestamp must exceed the timestamp of every
 	// record read or written; (b) it must exceed the worker's last;
 	// (c) its high half carries at least the current global epoch.
@@ -82,6 +92,31 @@ func (t *Txn) commit(procName string) error {
 			return err
 		}
 	}
+	if orc := t.e.opts.Oracle; orc != nil {
+		t.recordFootprint(orc, ts)
+	}
 	t.finish(true)
 	return nil
+}
+
+// recordFootprint reports the committed transaction's read and write
+// sets to the serializability oracle. Reads carry the version
+// timestamp and visibility the transaction observed (an insert's
+// implicit absence check included); writes carry the post-commit
+// visibility. Called before finish so element state is still intact.
+func (t *Txn) recordFootprint(orc *oracle.Recorder, ts uint64) {
+	c := oracle.Commit{TS: ts, Worker: t.w.id}
+	for _, el := range t.rw.elems {
+		if el.removed {
+			continue
+		}
+		k := oracle.Key{Table: el.tab.ID(), Key: uint64(el.rec.Key())}
+		if el.mode&ModeRead != 0 || el.isInsert {
+			c.Reads = append(c.Reads, oracle.Read{K: k, Version: el.rts, Visible: el.seenVisible})
+		}
+		if el.hasWrites() {
+			c.Writes = append(c.Writes, oracle.Write{K: k, Visible: !el.isDelete})
+		}
+	}
+	orc.Record(c)
 }

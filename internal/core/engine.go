@@ -9,10 +9,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"thedb/internal/fault"
 	"thedb/internal/metrics"
+	"thedb/internal/oracle"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wal"
@@ -143,6 +146,33 @@ type Options struct {
 	// SyncBackoff is the initial delay between sync retries; it
 	// doubles per retry (default 1ms).
 	SyncBackoff time.Duration
+
+	// Chaos, when non-nil, is the protocol-level fault injector: the
+	// engine consults it at named checkpoints (pre-validation,
+	// mid-healing, around the epoch advance, commit apply) and obeys
+	// the drawn perturbation. Nil (the default) keeps every hot path
+	// at a single pointer check.
+	Chaos *fault.Schedule
+
+	// Oracle, when non-nil, receives every committed transaction's
+	// read/write footprint with its commit timestamp, for an offline
+	// serializability check after the run (chaos tests).
+	Oracle *oracle.Recorder
+
+	// RetryBudget bounds failed attempts per rung of the degradation
+	// ladder (DESIGN.md §10): a transaction escalates
+	// Healing → OCC → 2PL as each rung's budget is spent and fails
+	// with ErrContended past the last rung. Zero or negative (the
+	// default) disables the ladder and keeps the legacy retry-forever
+	// behavior.
+	RetryBudget int
+
+	// WatchdogLag is how many epochs a worker may go without
+	// refreshing its epoch registration, while executing a
+	// transaction, before the stuck-epoch watchdog trips (surfaced as
+	// WatchdogTrips in Metrics). Default 16; negative disables the
+	// watchdog.
+	WatchdogLag int
 }
 
 // defaults fills unset fields.
@@ -161,6 +191,9 @@ func (o *Options) defaults() {
 	}
 	if o.SyncBackoff <= 0 {
 		o.SyncBackoff = time.Millisecond
+	}
+	if o.WatchdogLag == 0 {
+		o.WatchdogLag = 16
 	}
 	if !o.OrderSet {
 		if o.Protocol == Healing {
@@ -181,6 +214,12 @@ type Engine struct {
 	specs   map[string]*proc.Spec
 	workers []*Worker
 
+	// stopC is closed when the engine stops, so sleeping retriers
+	// (backoff, injected chaos stalls) wake immediately instead of
+	// delaying shutdown.
+	stopC    chan struct{}
+	stopOnce sync.Once
+
 	// Durability state (Appendix C group commit, hardened): the
 	// epoch advancer seals and syncs the log streams each tick, so
 	// an epoch is only reported durable once every stream holding
@@ -199,8 +238,13 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 		catalog: catalog,
 		gc:      storage.NewGC(catalog),
 		specs:   make(map[string]*proc.Spec),
+		stopC:   make(chan struct{}),
 	}
 	e.epoch = NewEpochManager(opts.EpochInterval)
+	e.epoch.chaos = opts.Chaos
+	if opts.WatchdogLag > 0 {
+		e.epoch.Watch(opts.Workers, uint32(opts.WatchdogLag), nil)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		e.workers = append(e.workers, newWorker(e, i))
 	}
@@ -257,6 +301,7 @@ func (e *Engine) syncToStable(cur uint32) {
 // sealed at the highest epoch reached, flushed and synced. The
 // returned error aggregates all per-stream failures.
 func (e *Engine) Stop() error {
+	e.stopOnce.Do(func() { close(e.stopC) })
 	e.epoch.Stop()
 	e.gc.Stop()
 	if e.opts.Logger != nil {
@@ -328,7 +373,12 @@ func (e *Engine) Workers() int { return len(e.workers) }
 func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
 	ws := make([]*metrics.Worker, len(e.workers))
 	for i, w := range e.workers {
-		ws[i] = &w.m
+		// Watchdog trips are counted by the epoch advancer, not the
+		// worker (the worker is by definition stuck when one fires);
+		// fold them into a copy so ResetMetrics stays race-free.
+		wm := w.m
+		wm.WatchdogTrips += e.epoch.Trips(i)
+		ws[i] = &wm
 	}
 	a := metrics.Merge(wall, ws)
 	a.DurableEpoch = e.durableEpoch.Load()
@@ -355,6 +405,12 @@ var (
 
 	// ErrNoSuchProc reports an unregistered procedure name.
 	ErrNoSuchProc = errors.New("no such procedure")
+
+	// ErrContended reports that a transaction spent its retry budget
+	// on every rung of the degradation ladder (Options.RetryBudget)
+	// without committing. The caller decides whether to shed the
+	// request or resubmit later; the engine will not retry forever.
+	ErrContended = errors.New("transaction contended")
 
 	// errRestart is the internal signal that the current attempt
 	// must be retried from scratch.

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"thedb/internal/fault"
 	"thedb/internal/storage"
 )
 
@@ -11,12 +14,38 @@ import (
 // half of every commit timestamp (§4.3). A designated goroutine bumps
 // the epoch periodically; transactions committed within one epoch are
 // group-committed together by the logging layer.
+//
+// The manager doubles as the stuck-epoch watchdog: workers register
+// their current epoch at each transaction attempt (Refresh) and
+// deregister between transactions (Idle); each advance checks for a
+// worker whose registration has fallen more than the configured lag
+// behind and latches a trip for it. A tripped worker cannot advance
+// the durability frontier or drain healing work, so surfacing it
+// beats silently stalling group commit.
 type EpochManager struct {
 	cur      atomic.Uint32
 	interval time.Duration
-	stop     chan struct{}
-	done     chan struct{}
+
+	mu   sync.Mutex // guards stop/done lifecycle
+	stop chan struct{}
+	done chan struct{}
+
+	// chaos, when non-nil, is consulted around each advance.
+	chaos *fault.Schedule
+
+	// Watchdog state, armed by Watch. wd[i] packs a worker's
+	// registration into one word: bit 63 = executing a transaction,
+	// bit 62 = trip latched, low 32 bits = epoch at last Refresh.
+	wdLag  uint32
+	wd     []atomic.Uint64
+	trips  []atomic.Int64
+	onTrip func(worker int)
 }
+
+const (
+	wdActive  = uint64(1) << 63
+	wdTripped = uint64(1) << 62
+)
 
 // NewEpochManager builds a manager that advances every interval.
 func NewEpochManager(interval time.Duration) *EpochManager {
@@ -28,43 +57,147 @@ func NewEpochManager(interval time.Duration) *EpochManager {
 // Current returns the global epoch.
 func (m *EpochManager) Current() uint32 { return m.cur.Load() }
 
-// Advance bumps the epoch once (tests and manual control).
-func (m *EpochManager) Advance() uint32 { return m.cur.Add(1) }
+// Advance bumps the epoch once (the advancer goroutine, tests, manual
+// control) and runs the stall check against the new epoch.
+func (m *EpochManager) Advance() uint32 {
+	e := m.cur.Add(1)
+	m.checkStalls(e)
+	return e
+}
+
+// Watch arms the stuck-epoch watchdog: a worker that stays registered
+// (Refresh without a matching Idle) for more than lag epochs trips
+// once, counted per worker and reported to onTrip (optional). Call
+// before any worker runs.
+func (m *EpochManager) Watch(workers int, lag uint32, onTrip func(worker int)) {
+	if workers <= 0 || lag == 0 {
+		return
+	}
+	m.wdLag = lag
+	m.wd = make([]atomic.Uint64, workers)
+	m.trips = make([]atomic.Int64, workers)
+	m.onTrip = onTrip
+}
+
+// Refresh registers the worker as executing in the current epoch and
+// clears any previous trip latch. Workers call it at the start of
+// every transaction attempt.
+func (m *EpochManager) Refresh(worker int) {
+	if m.wd == nil || worker < 0 || worker >= len(m.wd) {
+		return
+	}
+	m.wd[worker].Store(wdActive | uint64(m.cur.Load()))
+}
+
+// Idle deregisters the worker (no transaction in flight), suppressing
+// the watchdog until the next Refresh.
+func (m *EpochManager) Idle(worker int) {
+	if m.wd == nil || worker < 0 || worker >= len(m.wd) {
+		return
+	}
+	m.wd[worker].Store(0)
+}
+
+// Trips returns how often the watchdog has fired for the worker.
+func (m *EpochManager) Trips(worker int) int64 {
+	if m.trips == nil || worker < 0 || worker >= len(m.trips) {
+		return 0
+	}
+	return m.trips[worker].Load()
+}
+
+// checkStalls trips the watchdog for every registered worker whose
+// last refresh is more than wdLag epochs behind cur. The trip is
+// latched per registration: one firing per stall, re-armed by the
+// next Refresh.
+func (m *EpochManager) checkStalls(cur uint32) {
+	if m.wd == nil {
+		return
+	}
+	for i := range m.wd {
+		v := m.wd[i].Load()
+		if v&wdActive == 0 || v&wdTripped != 0 {
+			continue
+		}
+		if cur-uint32(v) <= m.wdLag {
+			continue
+		}
+		// CAS so a concurrent Refresh/Idle wins over the latch.
+		if m.wd[i].CompareAndSwap(v, v|wdTripped) {
+			m.trips[i].Add(1)
+			if m.onTrip != nil {
+				m.onTrip(i)
+			}
+		}
+	}
+}
 
 // Start launches the advancer; onAdvance (optional) runs after each
-// bump on the advancer goroutine.
+// bump on the advancer goroutine. Start while already running is a
+// no-op; Start/Stop are safe to call concurrently.
 func (m *EpochManager) Start(onAdvance func(epoch uint32)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.stop != nil {
 		return
 	}
-	m.stop = make(chan struct{})
-	m.done = make(chan struct{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.stop, m.done = stop, done
 	go func() {
-		defer close(m.done)
+		defer close(done)
 		t := time.NewTicker(m.interval)
 		defer t.Stop()
 		for {
 			select {
-			case <-m.stop:
+			case <-stop:
 				return
 			case <-t.C:
-				e := m.cur.Add(1)
+				m.chaosPoint(fault.PreEpochAdvance, stop)
+				e := m.Advance()
 				if onAdvance != nil {
 					onAdvance(e)
 				}
+				m.chaosPoint(fault.PostEpochAdvance, stop)
 			}
 		}
 	}()
 }
 
-// Stop halts the advancer.
+// Stop halts the advancer. Extra Stops (including concurrent ones)
+// are no-ops.
 func (m *EpochManager) Stop() {
-	if m.stop == nil {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
 		return
 	}
-	close(m.stop)
-	<-m.done
-	m.stop = nil
+	close(stop)
+	<-done
+}
+
+// chaosPoint obeys the injected perturbation on the advancer
+// goroutine. ActRestart is meaningless for the advancer and ignored;
+// sleeps are cut short by stop so chaos never delays shutdown.
+func (m *EpochManager) chaosPoint(cp fault.Checkpoint, stop chan struct{}) {
+	s := m.chaos
+	if s == nil {
+		return
+	}
+	act, d := s.At(fault.EpochSlot, cp)
+	switch act {
+	case fault.ActYield:
+		runtime.Gosched()
+	case fault.ActDelay, fault.ActStall:
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-stop:
+		}
+	}
 }
 
 // nextCommitTS computes a worker's commit timestamp per §4.3: the

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"errors"
 	"time"
+
+	"thedb/internal/fault"
 )
 
 // validateAndCommitHealing runs the paper's Algorithm 1: lock the
@@ -181,6 +183,12 @@ func (t *Txn) timeHeal() func() {
 
 func (t *Txn) drainHealQueue(q *healQueue) error {
 	for q.Len() > 0 {
+		// Chaos checkpoint: between restorations, conflicting commits
+		// may land and force healing over freshly healed state; a
+		// restart drawn here abandons the repair mid-flight.
+		if err := t.w.chaosPoint(fault.MidHealing); err != nil {
+			return err
+		}
 		run := heap.Pop(q).(*OpRun)
 		kind := q.kind[run]
 		delete(q.kind, run)

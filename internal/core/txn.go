@@ -70,6 +70,11 @@ type Txn struct {
 	// it serializes against concurrent OCC transactions (HYBRID).
 	tplMeta bool
 
+	// noTrack marks a fallback-rung attempt running a non-healing
+	// protocol under a Healing engine: healing bookkeeping (access
+	// cache, read copies) would never be consumed, so skip it.
+	noTrack bool
+
 	healOps int // operations restored in this attempt (metrics)
 
 	// healDur accumulates wall time spent in healing passes when
@@ -103,13 +108,13 @@ func (t *Txn) Env() *proc.Env { return t.env }
 // not carry healing structures either); it is also off for ad-hoc
 // transactions (§4.8) and under the Table 4 ablation.
 func (t *Txn) trackAccesses() bool {
-	return t.e.opts.Protocol == Healing && !t.adhoc && !t.e.opts.NoAccessCache
+	return t.e.opts.Protocol == Healing && !t.adhoc && !t.noTrack && !t.e.opts.NoAccessCache
 }
 
 // keepReadCopies reports whether per-read column copies are
 // maintained (false-invalidation elimination, §4.5) — healing only.
 func (t *Txn) keepReadCopies() bool {
-	return t.e.opts.Protocol == Healing && !t.adhoc && !t.e.opts.NoReadCopies
+	return t.e.opts.Protocol == Healing && !t.adhoc && !t.noTrack && !t.e.opts.NoReadCopies
 }
 
 // readPhase executes all operations in program order.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"thedb/internal/fault"
 	"thedb/internal/metrics"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
@@ -43,7 +44,8 @@ func (w *Worker) ID() int { return w.id }
 func (w *Worker) Metrics() *metrics.Worker { return &w.m }
 
 // Run executes the named stored procedure to completion under the
-// engine's protocol, retrying aborted attempts. It returns the final
+// engine's protocol, retrying aborted attempts (down the degradation
+// ladder when Options.RetryBudget is set). It returns the final
 // variable environment (query results) or the application abort
 // error.
 func (w *Worker) Run(procName string, args ...storage.Value) (*proc.Env, error) {
@@ -71,24 +73,8 @@ func (w *Worker) Transact(fn func(ctx proc.OpCtx) error) error {
 		},
 	}
 	w.curArgs = nil
-	start := time.Now()
-	for attempt := 0; ; attempt++ {
-		env := proc.NewEnv()
-		prog := spec.Instantiate(env)
-		err := w.attempt(prog, env, "adhoc", true, attempt)
-		if err == nil {
-			w.m.Committed++
-			w.m.ObserveLatency(time.Since(start))
-			return nil
-		}
-		if errors.Is(err, errRestart) {
-			w.m.Restarts++
-			w.backoff(attempt)
-			continue
-		}
-		w.m.Aborted++
-		return err
-	}
+	_, err := w.runLoop(spec, "adhoc", true, proc.NewEnv)
+	return err
 }
 
 func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.Env, error) {
@@ -97,11 +83,25 @@ func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.E
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchProc, procName)
 	}
 	w.curArgs = args
+	return w.runLoop(spec, procName, adhoc, func() *proc.Env { return buildEnv(spec, args) })
+}
+
+// runLoop drives one transaction to commit or permanent failure down
+// the degradation ladder: each rung retries under one protocol until
+// its budget is spent, then the ladder escalates to a less optimistic
+// rung; past the last rung the transaction fails with ErrContended.
+// The loop also keeps the worker's epoch registration fresh, so the
+// stuck-epoch watchdog can tell a worker wedged inside an attempt
+// from one that is merely between transactions.
+func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv func() *proc.Env) (*proc.Env, error) {
 	start := time.Now()
-	for attempt := 0; ; attempt++ {
-		env := buildEnv(spec, args)
+	lad := newLadder(&w.e.opts, adhoc)
+	defer w.e.epoch.Idle(w.id)
+	for {
+		w.e.epoch.Refresh(w.id)
+		env := mkEnv()
 		prog := spec.Instantiate(env)
-		err := w.attempt(prog, env, procName, adhoc, attempt)
+		err := w.attempt(prog, env, procName, adhoc, lad)
 		if err == nil {
 			w.m.Committed++
 			w.m.ObserveLatency(time.Since(start))
@@ -109,7 +109,12 @@ func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.E
 		}
 		if errors.Is(err, errRestart) {
 			w.m.Restarts++
-			w.backoff(attempt)
+			if !lad.next(&w.m) {
+				w.m.BudgetExhausted++
+				w.m.Aborted++
+				return env, fmt.Errorf("%w: %q gave up after %d attempts", ErrContended, procName, lad.total)
+			}
+			w.backoff(lad.spent)
 			continue
 		}
 		// Application abort: permanent.
@@ -118,11 +123,86 @@ func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.E
 	}
 }
 
+// rung is one step of the degradation ladder: a protocol and how many
+// failed attempts it absorbs before the ladder escalates (0 = no
+// bound).
+type rung struct {
+	proto  Protocol
+	budget int
+}
+
+// ladder tracks a transaction's descent from optimistic to
+// pessimistic execution (DESIGN.md §10): healing stops paying off
+// once the same transaction keeps invalidating, plain OCC restarts
+// stop paying off under sustained conflict, and 2PL is the rung that
+// cannot livelock. With no retry budget configured the ladder reduces
+// to the legacy policies — a single unbounded rung, or OCC-then-2PL
+// for THEDB-HYBRID.
+type ladder struct {
+	rungs []rung
+	idx   int
+	spent int // failed attempts on the current rung
+	total int // failed attempts overall
+}
+
+func newLadder(opts *Options, adhoc bool) *ladder {
+	base := opts.Protocol
+	if adhoc && (base == Healing || base == Hybrid) {
+		// Ad-hoc transactions carry no dependency information (§4.8):
+		// they run under plain OCC.
+		base = OCC
+	}
+	budget := opts.RetryBudget
+	if budget <= 0 {
+		if base == Hybrid {
+			// OCC first; after any OCC validation abort rerun under
+			// 2PL (references [28, 52, 60]).
+			return &ladder{rungs: []rung{{OCC, 1}, {TPL, 0}}}
+		}
+		return &ladder{rungs: []rung{{base, 0}}}
+	}
+	switch base {
+	case Healing:
+		return &ladder{rungs: []rung{{Healing, budget}, {OCC, budget}, {TPL, budget}}}
+	case Hybrid:
+		return &ladder{rungs: []rung{{OCC, budget}, {TPL, budget}}}
+	case OCC, Silo:
+		return &ladder{rungs: []rung{{base, budget}, {TPL, budget}}}
+	case TPL:
+		return &ladder{rungs: []rung{{TPL, budget}}}
+	default:
+		// The no-validate protocols never restart; a budget is moot.
+		return &ladder{rungs: []rung{{base, 0}}}
+	}
+}
+
+// proto returns the current rung's protocol.
+func (l *ladder) proto() Protocol { return l.rungs[l.idx].proto }
+
+// next consumes one failed attempt and reports whether another may
+// run, escalating to the next rung — and resetting the per-rung
+// attempt counter, so backoff jitter restarts from its shortest
+// window — when the current budget is spent.
+func (l *ladder) next(m *metrics.Worker) bool {
+	l.total++
+	l.spent++
+	if b := l.rungs[l.idx].budget; b > 0 && l.spent >= b {
+		l.idx++
+		l.spent = 0
+		if l.idx >= len(l.rungs) {
+			return false
+		}
+		m.HealingFallbacks++
+	}
+	return true
+}
+
 // backoff sleeps after a restart with capped exponential jitter. It
 // breaks restart livelocks between symmetric transactions — the same
 // role randomized backoff plays in production OCC and no-wait 2PL
 // engines. The first couple of retries are free (short conflicts
-// resolve on their own).
+// resolve on their own), and the sleep is cut short when the engine
+// stops so shutdown is never held up by sleeping retriers.
 func (w *Worker) backoff(attempt int) {
 	if attempt < 2 {
 		runtime.Gosched()
@@ -135,37 +215,66 @@ func (w *Worker) backoff(attempt int) {
 	// 1-2^shift µs of jitter from a cheap worker-local xorshift.
 	w.rngState = w.rngState*6364136223846793005 + 1442695040888963407
 	jitter := (w.rngState >> 33) % (uint64(1) << shift)
-	time.Sleep(time.Duration(1+jitter) * time.Microsecond)
+	w.sleepOrStop(time.Duration(1+jitter) * time.Microsecond)
 }
 
-// attempt executes one try of the transaction under the engine's
-// protocol. It returns nil on commit, errRestart when the attempt
-// must be retried, or a permanent application error.
-func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adhoc bool, attempt int) error {
-	proto := w.e.opts.Protocol
-	if adhoc && (proto == Healing || proto == Hybrid) {
-		proto = OCC
+// sleepOrStop sleeps for d or until the engine stops, whichever comes
+// first.
+func (w *Worker) sleepOrStop(d time.Duration) {
+	if d <= 0 {
+		return
 	}
-	if proto == Hybrid {
-		// OCC first; after any OCC validation abort rerun under 2PL
-		// (references [28, 52, 60]).
-		if attempt == 0 {
-			proto = OCC
-		} else {
-			proto = TPL
-		}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-w.e.stopC:
 	}
+}
+
+// chaosPoint consults the chaos schedule (when configured) at a
+// protocol checkpoint and obeys the drawn perturbation. ActRestart
+// surfaces as errRestart, which the caller handles exactly like a
+// validation abort.
+func (w *Worker) chaosPoint(cp fault.Checkpoint) error {
+	s := w.e.opts.Chaos
+	if s == nil {
+		return nil
+	}
+	act, d := s.At(w.id, cp)
+	switch act {
+	case fault.ActYield:
+		runtime.Gosched()
+	case fault.ActDelay, fault.ActStall:
+		w.sleepOrStop(d)
+	case fault.ActRestart:
+		return errRestart
+	}
+	return nil
+}
+
+// attempt executes one try of the transaction under the ladder's
+// current protocol. It returns nil on commit, errRestart when the
+// attempt must be retried, or a permanent application error.
+func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adhoc bool, lad *ladder) error {
+	proto := lad.proto()
 
 	t := newTxn(w, prog, env, adhoc)
 	t.useTPL = proto == TPL
-	t.tplMeta = t.useTPL && w.e.opts.Protocol == Hybrid
+	// A 2PL rung running under an optimistic engine protocol must
+	// serialize with concurrent optimistic transactions, which only
+	// respect the record meta lock — so it locks through that word.
+	t.tplMeta = t.useTPL && w.e.opts.Protocol != TPL
+	// Fallback rungs run a different protocol than the engine's: skip
+	// the healing bookkeeping their validation will never consume.
+	t.noTrack = proto != Healing
 	// Liveness guard for the multicore-interleaving emulation: after
 	// repeated restarts, run an attempt without yielding so its
 	// conflict window collapses and it commits (a long transaction
 	// such as TPC-C Delivery could otherwise starve forever under
 	// stretched windows; real multicores do not stretch windows by
 	// the worker count).
-	t.noYield = attempt > 8
+	t.noYield = lad.total > 8
 
 	detailed := w.e.opts.DetailedMetrics
 	var tRead, tValidate, tHeal, tWrite time.Duration
@@ -188,6 +297,9 @@ func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adh
 	}
 	if detailed {
 		tRead = time.Since(readStart)
+	}
+	if err := w.chaosPoint(fault.PreValidation); err != nil {
+		return fail(err)
 	}
 
 	valStart := time.Now()

@@ -1,11 +1,15 @@
-// Package fault provides injectable failure wrappers for log sinks:
-// short writes, write errors, and crash simulation (silently dropped
-// bytes) triggered at a configured byte offset or per-write
-// probability, plus scripted Sync failures. It exists to prove the
-// durability layer's crash tolerance — the crash-torture tests wrap
-// the WAL sinks in a fault.Writer and assert that recovery restores
-// an epoch-consistent committed prefix no matter where the fault
-// lands.
+// Package fault provides the repo's fault-injection machinery, in two
+// halves. The sink wrappers below inject storage failures — short
+// writes, write errors, and crash simulation (silently dropped bytes)
+// triggered at a configured byte offset or per-write probability,
+// plus scripted Sync failures — to prove the durability layer's crash
+// tolerance: the crash-torture tests wrap the WAL sinks in a
+// fault.Writer and assert that recovery restores an epoch-consistent
+// committed prefix no matter where the fault lands. Schedule
+// (schedule.go) is the protocol-level chaos injector: a seeded,
+// deterministic source of scheduling perturbations the engine
+// consults at protocol checkpoints to force adversarial
+// interleavings (DESIGN.md §10).
 package fault
 
 import (

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Identical seeds must replay identical per-slot decision sequences;
+// a different seed must diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	run := func(seed uint64) []Action {
+		s := NewSchedule(seed, 4)
+		s.Inject(PreValidation, ActRestart, 0.3)
+		s.Inject(PreValidation, ActYield, 0.3)
+		s.Inject(CommitApply, ActDelay, 0.5)
+		var got []Action
+		for i := 0; i < 256; i++ {
+			a, _ := s.At(i%4, PreValidation)
+			got = append(got, a)
+			a, _ = s.At(i%4, CommitApply)
+			got = append(got, a)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical 512-draw sequences")
+	}
+}
+
+// Probability draws should land near their configured rates, and the
+// counters should account for every visit.
+func TestScheduleProbabilityAndCounts(t *testing.T) {
+	s := NewSchedule(7, 2)
+	s.Inject(MidHealing, ActRestart, 0.25)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.At(0, MidHealing)
+	}
+	restarts := s.Count(MidHealing, ActRestart)
+	if restarts < n/5 || restarts > 3*n/10 {
+		t.Fatalf("restart rate %d/%d far from configured 0.25", restarts, n)
+	}
+	if got := s.Count(MidHealing, ActNone) + restarts; got != n {
+		t.Fatalf("counts do not cover all visits: %d != %d", got, n)
+	}
+	if s.Total(ActRestart) != restarts {
+		t.Fatalf("Total(ActRestart)=%d != Count=%d", s.Total(ActRestart), restarts)
+	}
+}
+
+// Scripted actions fire on the exact (slot, checkpoint, visit)
+// coordinate, override the probabilistic draw, and do not perturb the
+// surrounding stream.
+func TestScheduleScriptedActions(t *testing.T) {
+	s := NewSchedule(1, 3)
+	s.SetStall(time.Second)
+	s.StallAt(2, PreValidation, 1)
+	s.ScriptAt(EpochSlot, PreEpochAdvance, 0, ActDelay)
+
+	if a, _ := s.At(2, PreValidation); a != ActNone {
+		t.Fatalf("visit 0 should be unscripted, got %v", a)
+	}
+	a, d := s.At(2, PreValidation)
+	if a != ActStall || d != time.Second {
+		t.Fatalf("visit 1 = (%v, %v), want (stall, 1s)", a, d)
+	}
+	if a, _ := s.At(2, PreValidation); a != ActNone {
+		t.Fatalf("visit 2 should be unscripted, got %v", a)
+	}
+	// Other workers' streams are unaffected by worker 2's script.
+	if a, _ := s.At(0, PreValidation); a != ActNone {
+		t.Fatalf("worker 0 drew %v with no probabilities armed", a)
+	}
+	a, d = s.At(EpochSlot, PreEpochAdvance)
+	if a != ActDelay || d != s.delay {
+		t.Fatalf("epoch slot visit 0 = (%v, %v), want (delay, %v)", a, d, s.delay)
+	}
+}
+
+// Scripting a visit must not shift the probabilistic draws of later
+// visits: the RNG stream advances on every visit regardless.
+func TestScheduleScriptDoesNotShiftStream(t *testing.T) {
+	tail := func(script bool) []Action {
+		s := NewSchedule(99, 1)
+		s.Inject(CommitApply, ActYield, 0.5)
+		if script {
+			s.ScriptAt(0, CommitApply, 0, ActStall)
+		}
+		var got []Action
+		for i := 0; i < 64; i++ {
+			a, _ := s.At(0, CommitApply)
+			got = append(got, a)
+		}
+		return got[1:]
+	}
+	plain, scripted := tail(false), tail(true)
+	for i := range plain {
+		if plain[i] != scripted[i] {
+			t.Fatalf("scripting visit 0 shifted visit %d: %v vs %v", i+1, plain[i], scripted[i])
+		}
+	}
+}
+
+// The epoch slot and out-of-range worker ids map to the extra slot and
+// never alias a real worker's stream.
+func TestScheduleSlotMapping(t *testing.T) {
+	s := NewSchedule(5, 2)
+	if got := s.slotIndex(0); got != 0 {
+		t.Fatalf("slotIndex(0)=%d", got)
+	}
+	if got := s.slotIndex(1); got != 1 {
+		t.Fatalf("slotIndex(1)=%d", got)
+	}
+	if got := s.slotIndex(EpochSlot); got != 2 {
+		t.Fatalf("slotIndex(EpochSlot)=%d, want 2", got)
+	}
+	if got := s.slotIndex(17); got != 2 {
+		t.Fatalf("slotIndex(17)=%d, want epoch slot 2", got)
+	}
+}

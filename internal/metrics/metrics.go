@@ -59,6 +59,11 @@ type Worker struct {
 	HealedOps  int64 // operations restored by healing
 	FalseInval int64 // validation failures dismissed as false invalidations
 
+	// Degradation-ladder and watchdog counters (DESIGN.md §10).
+	HealingFallbacks int64 // escalations to a less optimistic rung (Healing→OCC, OCC→2PL)
+	BudgetExhausted  int64 // transactions that ran out of retry budget (ErrContended)
+	WatchdogTrips    int64 // stuck-epoch watchdog firings attributed to this worker
+
 	PhaseNS [numPhases]int64
 
 	latency [numBuckets]int64 // committed-transaction latency, bucket i: [2^i, 2^(i+1)) µs
@@ -112,6 +117,9 @@ func Merge(wall time.Duration, workers []*Worker) *Aggregate {
 		a.Heals += w.Heals
 		a.HealedOps += w.HealedOps
 		a.FalseInval += w.FalseInval
+		a.HealingFallbacks += w.HealingFallbacks
+		a.BudgetExhausted += w.BudgetExhausted
+		a.WatchdogTrips += w.WatchdogTrips
 		for p := range w.PhaseNS {
 			a.PhaseNS[p] += w.PhaseNS[p]
 		}
@@ -193,11 +201,18 @@ func (a *Aggregate) Percentile(p float64) float64 {
 // Samples returns the number of raw latency samples retained.
 func (a *Aggregate) Samples() int { return len(a.samples) }
 
-// BreakdownString renders the phase breakdown as percentages.
+// BreakdownString renders the phase breakdown as percentages,
+// followed by the degradation-ladder counters when any are nonzero.
 func (a *Aggregate) BreakdownString() string {
 	var parts []string
 	for p := Phase(0); p < numPhases; p++ {
 		parts = append(parts, fmt.Sprintf("%s=%.1f%%", p, 100*a.PhaseFraction(p)))
+	}
+	if a.HealingFallbacks != 0 || a.BudgetExhausted != 0 || a.WatchdogTrips != 0 {
+		parts = append(parts,
+			fmt.Sprintf("fallbacks=%d", a.HealingFallbacks),
+			fmt.Sprintf("budget_exhausted=%d", a.BudgetExhausted),
+			fmt.Sprintf("watchdog_trips=%d", a.WatchdogTrips))
 	}
 	return strings.Join(parts, " ")
 }

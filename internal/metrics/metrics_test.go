@@ -28,6 +28,27 @@ func TestMergeAndTPS(t *testing.T) {
 	}
 }
 
+// The degradation-ladder counters must survive aggregation and show
+// up in the breakdown only when nonzero.
+func TestLadderCountersSurviveMerge(t *testing.T) {
+	w1 := &Worker{Committed: 10, HealingFallbacks: 3, BudgetExhausted: 1}
+	w2 := &Worker{Committed: 20, HealingFallbacks: 4, WatchdogTrips: 2}
+	a := Merge(time.Second, []*Worker{w1, w2})
+	if a.HealingFallbacks != 7 || a.BudgetExhausted != 1 || a.WatchdogTrips != 2 {
+		t.Fatalf("ladder counters lost in merge: %+v", a.Worker)
+	}
+	s := a.BreakdownString()
+	for _, want := range []string{"fallbacks=7", "budget_exhausted=1", "watchdog_trips=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("breakdown %q missing %q", s, want)
+		}
+	}
+	quiet := Merge(time.Second, []*Worker{{Committed: 5}})
+	if s := quiet.BreakdownString(); strings.Contains(s, "fallbacks") {
+		t.Fatalf("breakdown shows ladder counters on a quiet run: %q", s)
+	}
+}
+
 func TestZeroDivisionSafety(t *testing.T) {
 	a := Merge(0, nil)
 	if a.TPS() != 0 || a.AbortRate() != 0 || a.PermanentAbortRate() != 0 {

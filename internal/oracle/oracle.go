@@ -1,0 +1,278 @@
+// Package oracle checks that a committed transaction history is
+// serializable: equivalent to some serial execution of the same
+// transactions. The engine (when Options.Oracle is set) reports each
+// commit's read and write footprint together with its commit
+// timestamp; Check then reconstructs per-key version chains in
+// timestamp order and verifies that the direct serialization graph —
+// write-write, write-read, and read-write (anti-dependency) edges —
+// is acyclic.
+//
+// Why graph acyclicity rather than literally replaying the
+// timestamp-ordered serial schedule: commit timestamps order writes
+// (validation guarantees a writer's timestamp exceeds every version
+// it overwrites, and the epoch scheme keeps them unique) but do NOT
+// order anti-dependencies. A reader may commit with a higher
+// timestamp than a writer serialized after it, because validation
+// only requires the read versions to still be current at commit time,
+// not that the reader's timestamp precede all future writers. The
+// history is still serializable — in the order "reader before writer"
+// — so the oracle must accept it. Acyclicity of the DSG is exactly
+// the textbook conflict-serializability condition and handles both
+// directions.
+//
+// The recorder is a sharded append-only log: workers append to
+// per-worker shards with no synchronization beyond an atomic length,
+// so recording barely perturbs the interleavings chaos runs are
+// trying to produce.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key identifies a record: table id plus primary key.
+type Key struct {
+	Table int
+	Key   uint64
+}
+
+// Read is one read-set entry of a committed transaction: the version
+// timestamp it observed on key K and whether that version was
+// visible (a deleted/dummy record reads as not visible).
+type Read struct {
+	K       Key
+	Version uint64
+	Visible bool
+}
+
+// Write is one write-set entry: after the transaction, key K holds a
+// version stamped with the transaction's commit timestamp; Visible is
+// false for deletes.
+type Write struct {
+	K       Key
+	Visible bool
+}
+
+// Commit is one committed transaction's footprint.
+type Commit struct {
+	TS     uint64 // commit timestamp (unique per committed txn)
+	Worker int
+	Reads  []Read
+	Writes []Write
+}
+
+// Recorder collects committed footprints from concurrently running
+// workers. Each worker appends only to its own shard; Check must only
+// be called after the engine has stopped.
+type Recorder struct {
+	shards []shard
+}
+
+type shard struct {
+	commits []Commit
+	_       [8]uint64 // keep shards off each other's cache lines
+}
+
+// NewRecorder builds a recorder with one shard per worker.
+func NewRecorder(workers int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Recorder{shards: make([]shard, workers)}
+}
+
+// Record appends a committed footprint to the worker's shard. It is
+// safe for each worker to call concurrently with other workers, but a
+// single worker must not call it concurrently with itself.
+func (r *Recorder) Record(c Commit) {
+	if c.Worker < 0 || c.Worker >= len(r.shards) {
+		c.Worker = 0
+	}
+	sh := &r.shards[c.Worker]
+	sh.commits = append(sh.commits, c)
+}
+
+// Commits returns all recorded commits sorted by timestamp. Call only
+// after the engine has stopped.
+func (r *Recorder) Commits() []Commit {
+	var all []Commit
+	for i := range r.shards {
+		all = append(all, r.shards[i].commits...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+	return all
+}
+
+// Violation describes one way the history fails the serializability
+// check.
+type Violation struct {
+	TS     uint64 // timestamp of the offending transaction (0 if a cycle)
+	Reason string
+}
+
+func (v Violation) String() string {
+	if v.TS == 0 {
+		return v.Reason
+	}
+	return fmt.Sprintf("txn ts=%d: %s", v.TS, v.Reason)
+}
+
+// version is one entry of a key's reconstructed version chain.
+type version struct {
+	ts      uint64 // writer's commit timestamp (0 = initial load)
+	writer  int    // index into the sorted commit slice, -1 for initial
+	visible bool
+}
+
+// Check validates the recorded history and returns every violation
+// found (nil means the history is serializable). The rules:
+//
+//  1. Commit timestamps are unique.
+//  2. Every read observed either the initial version (ts 0) or a
+//     version some commit actually wrote — and with the recorded
+//     visibility. The exception is an invisible ts-0 read (the key
+//     looked absent): garbage collection re-materializes deleted
+//     records as fresh ts-0 dummies, erasing the delete version the
+//     reader really observed, so such reads are anchored in the
+//     latest absence gap of the chain below the reader's own commit
+//     timestamp instead of requiring an exact version match.
+//  3. The direct serialization graph over WW, WR, and RW conflicts
+//     is acyclic.
+func (r *Recorder) Check() []Violation {
+	commits := r.Commits()
+	var viols []Violation
+
+	// Rule 1: unique timestamps; also reject ts 0, which is reserved
+	// for load-time versions.
+	for i := range commits {
+		if commits[i].TS == 0 {
+			viols = append(viols, Violation{Reason: "commit with reserved timestamp 0"})
+		}
+		if i > 0 && commits[i].TS == commits[i-1].TS {
+			viols = append(viols, Violation{TS: commits[i].TS, Reason: "duplicate commit timestamp"})
+		}
+	}
+	if viols != nil {
+		return viols
+	}
+
+	// Reconstruct per-key version chains in timestamp order. The
+	// implicit initial version ts=0 is visible: the chaos harness only
+	// records keys that exist at load time or are created by recorded
+	// transactions, and reads of never-loaded keys surface as
+	// invisible reads handled by the lenient rule below.
+	chains := make(map[Key][]version)
+	ver := func(k Key) []version {
+		c, ok := chains[k]
+		if !ok {
+			c = []version{{ts: 0, writer: -1, visible: true}}
+			chains[k] = c
+		}
+		return c
+	}
+	for ci := range commits {
+		for _, w := range commits[ci].Writes {
+			chains[w.K] = append(ver(w.K), version{ts: commits[ci].TS, writer: ci, visible: w.Visible})
+		}
+	}
+
+	// Edges of the direct serialization graph; adj is built lazily.
+	n := len(commits)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(from, to int) {
+		if from == to || from < 0 || to < 0 {
+			return
+		}
+		adj[from] = append(adj[from], to)
+		indeg[to]++
+	}
+
+	// WW edges: chain order is timestamp order.
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			addEdge(chain[i-1].writer, chain[i].writer)
+		}
+	}
+
+	// WR and RW edges from each read.
+	for ci := range commits {
+		c := &commits[ci]
+		for _, rd := range c.Reads {
+			chain := ver(rd.K)
+			if rd.Version == 0 && !rd.Visible {
+				// Invisible read of version 0: the reader found the key
+				// absent — either it was never created, or a deleted
+				// record was garbage-collected and re-materialized as a
+				// fresh ts-0 dummy, erasing the version the reader
+				// "really" observed. Anchor the read in the latest
+				// absence gap below the reader's commit timestamp: walk
+				// back from there past visible versions to the nearest
+				// delete (or the initial absent state). Epoch-based
+				// reclamation guarantees a collected delete committed
+				// epochs before the reader, so the gap exists below
+				// the reader's timestamp whenever a dummy was involved.
+				vi := sort.Search(len(chain), func(i int) bool { return chain[i].ts >= c.TS }) - 1
+				for vi > 0 && chain[vi].visible {
+					vi--
+				}
+				addEdge(chain[vi].writer, ci) // WR: the deleter before the reader
+				if vi+1 < len(chain) {
+					addEdge(ci, chain[vi+1].writer) // RW: reader before the re-creator
+				}
+				continue
+			}
+			// Locate the exact observed version by timestamp.
+			vi := sort.Search(len(chain), func(i int) bool { return chain[i].ts >= rd.Version })
+			if vi == len(chain) || chain[vi].ts != rd.Version {
+				viols = append(viols, Violation{TS: c.TS, Reason: fmt.Sprintf("read of key %+v observed version ts=%d that no commit wrote", rd.K, rd.Version)})
+				continue
+			}
+			v := chain[vi]
+			if v.visible != rd.Visible {
+				viols = append(viols, Violation{TS: c.TS, Reason: fmt.Sprintf("read of key %+v version ts=%d saw visible=%v, version is visible=%v", rd.K, rd.Version, rd.Visible, v.visible)})
+				continue
+			}
+			addEdge(v.writer, ci) // WR: version's writer before reader
+			if vi+1 < len(chain) {
+				addEdge(ci, chain[vi+1].writer) // RW: reader before next writer
+			}
+		}
+	}
+	if viols != nil {
+		return viols
+	}
+
+	// Rule 3: Kahn's algorithm; leftovers form a cycle.
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, v := range adj[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if done != n {
+		var stuck []uint64
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, commits[i].TS)
+				if len(stuck) == 8 {
+					break
+				}
+			}
+		}
+		viols = append(viols, Violation{Reason: fmt.Sprintf("serialization graph has a cycle involving %d transactions (e.g. ts %v)", n-done, stuck)})
+	}
+	return viols
+}

@@ -1,0 +1,184 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func key(t int, k uint64) Key { return Key{Table: t, Key: k} }
+
+// A straightforward timestamp-ordered history passes.
+func TestCheckCleanHistory(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Commit{TS: 10, Worker: 0,
+		Reads:  []Read{{K: key(0, 1), Version: 0, Visible: true}},
+		Writes: []Write{{K: key(0, 1), Visible: true}}})
+	r.Record(Commit{TS: 20, Worker: 1,
+		Reads:  []Read{{K: key(0, 1), Version: 10, Visible: true}},
+		Writes: []Write{{K: key(0, 2), Visible: true}}})
+	if v := r.Check(); v != nil {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+// An anti-dependency may point backwards in timestamp order: a reader
+// that committed with a HIGHER timestamp than the writer it must be
+// serialized before. Validation allows this (the read version was
+// still current at the reader's commit), so the oracle must accept it.
+func TestCheckAcceptsBackwardAntiDependency(t *testing.T) {
+	r := NewRecorder(2)
+	// Writer of key 1 at ts 10; reader at ts 30 still saw version 0 of
+	// key 2, which writer ts 40 later overwrote. Serial order is
+	// 10, 30, 40 — valid despite the reader "straddling" nothing.
+	r.Record(Commit{TS: 10, Worker: 0, Writes: []Write{{K: key(0, 1), Visible: true}}})
+	r.Record(Commit{TS: 40, Worker: 0, Writes: []Write{{K: key(0, 2), Visible: true}}})
+	r.Record(Commit{TS: 30, Worker: 1,
+		Reads: []Read{
+			{K: key(0, 1), Version: 10, Visible: true},
+			{K: key(0, 2), Version: 0, Visible: true},
+		}})
+	if v := r.Check(); v != nil {
+		t.Fatalf("backward anti-dependency flagged: %v", v)
+	}
+}
+
+// A lost update — two transactions both read version 0 and both
+// overwrite it — forms an RW/WW cycle and must be reported.
+func TestCheckDetectsLostUpdate(t *testing.T) {
+	r := NewRecorder(2)
+	k := key(0, 7)
+	r.Record(Commit{TS: 10, Worker: 0,
+		Reads:  []Read{{K: k, Version: 0, Visible: true}},
+		Writes: []Write{{K: k, Visible: true}}})
+	r.Record(Commit{TS: 20, Worker: 1,
+		Reads:  []Read{{K: k, Version: 0, Visible: true}},
+		Writes: []Write{{K: k, Visible: true}}})
+	v := r.Check()
+	if len(v) == 0 {
+		t.Fatalf("lost update not detected")
+	}
+	if !strings.Contains(v[0].String(), "cycle") {
+		t.Fatalf("expected cycle violation, got %v", v)
+	}
+}
+
+// A write skew — each transaction reads the key the other writes —
+// is a pure RW/RW cycle with disjoint write sets and must be reported.
+func TestCheckDetectsWriteSkew(t *testing.T) {
+	r := NewRecorder(2)
+	a, b := key(0, 1), key(0, 2)
+	r.Record(Commit{TS: 10, Worker: 0,
+		Reads:  []Read{{K: b, Version: 0, Visible: true}},
+		Writes: []Write{{K: a, Visible: true}}})
+	r.Record(Commit{TS: 20, Worker: 1,
+		Reads:  []Read{{K: a, Version: 0, Visible: true}},
+		Writes: []Write{{K: b, Visible: true}}})
+	if v := r.Check(); len(v) == 0 {
+		t.Fatalf("write skew not detected")
+	}
+}
+
+// Reading a version no commit ever wrote is a violation.
+func TestCheckDetectsUnknownVersion(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(Commit{TS: 10, Worker: 0,
+		Reads: []Read{{K: key(0, 1), Version: 5, Visible: true}}})
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "no commit wrote") {
+		t.Fatalf("unknown version not detected: %v", v)
+	}
+}
+
+// Observing the wrong visibility for a real version is a violation:
+// here the version at ts 10 is a delete, but the reader claims it saw
+// live data.
+func TestCheckDetectsVisibilityMismatch(t *testing.T) {
+	r := NewRecorder(1)
+	k := key(0, 3)
+	r.Record(Commit{TS: 10, Worker: 0, Writes: []Write{{K: k, Visible: false}}})
+	r.Record(Commit{TS: 20, Worker: 0,
+		Reads: []Read{{K: k, Version: 10, Visible: true}}})
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "visible") {
+		t.Fatalf("visibility mismatch not detected: %v", v)
+	}
+}
+
+// A fresh-dummy read after garbage collection observes ts 0 invisible
+// on a key whose chain has later versions; the lenient rule accepts it
+// but still orders the reader before the key's first writer.
+func TestCheckLenientInvisibleReadStillOrders(t *testing.T) {
+	r := NewRecorder(2)
+	k := key(0, 9)
+	// Reader saw the key as absent (fresh dummy), writer creates it.
+	r.Record(Commit{TS: 20, Worker: 0,
+		Reads:  []Read{{K: k, Version: 0, Visible: false}},
+		Writes: []Write{{K: key(0, 10), Visible: true}}})
+	r.Record(Commit{TS: 10, Worker: 1, Writes: []Write{{K: k, Visible: true}}})
+	// Reader (ts 20) must serialize before writer (ts 10) via RW; that
+	// is fine on its own...
+	if v := r.Check(); v != nil {
+		t.Fatalf("lenient invisible read flagged: %v", v)
+	}
+	// ...but if the reader ALSO read the writer's output on another
+	// key, the cycle must be caught.
+	r2 := NewRecorder(2)
+	r2.Record(Commit{TS: 10, Worker: 1, Writes: []Write{
+		{K: k, Visible: true}, {K: key(0, 11), Visible: true}}})
+	r2.Record(Commit{TS: 20, Worker: 0,
+		Reads: []Read{
+			{K: k, Version: 0, Visible: false},          // reader before writer (RW)
+			{K: key(0, 11), Version: 10, Visible: true}, // writer before reader (WR)
+		}})
+	if v := r2.Check(); len(v) == 0 {
+		t.Fatalf("invisible-read cycle not detected")
+	}
+}
+
+// The insert → delete → GC → re-insert churn pattern: the re-creating
+// transaction reads the key as a fresh ts-0 dummy even though the
+// chain holds real versions. The gap anchor must land on the delete,
+// not the initial state — anchoring at the initial version would
+// fabricate an RW edge back to the first writer and a false cycle
+// with the WW chain.
+func TestCheckFreshDummyReadAfterChurn(t *testing.T) {
+	r := NewRecorder(1)
+	k := key(0, 5)
+	r.Record(Commit{TS: 10, Worker: 0, Writes: []Write{{K: k, Visible: true}}})  // insert
+	r.Record(Commit{TS: 20, Worker: 0, Writes: []Write{{K: k, Visible: false}}}) // delete
+	r.Record(Commit{TS: 30, Worker: 0,                                           // re-insert after GC reclaimed the record
+		Reads:  []Read{{K: k, Version: 0, Visible: false}},
+		Writes: []Write{{K: k, Visible: true}}})
+	if v := r.Check(); v != nil {
+		t.Fatalf("churn re-insert flagged: %v", v)
+	}
+}
+
+// Duplicate and reserved timestamps are rejected up front.
+func TestCheckTimestampHygiene(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(Commit{TS: 10, Worker: 0})
+	r.Record(Commit{TS: 10, Worker: 0})
+	v := r.Check()
+	if len(v) == 0 || !strings.Contains(v[0].Reason, "duplicate") {
+		t.Fatalf("duplicate ts not detected: %v", v)
+	}
+	r2 := NewRecorder(1)
+	r2.Record(Commit{TS: 0, Worker: 0})
+	v = r2.Check()
+	if len(v) == 0 || !strings.Contains(v[0].Reason, "reserved") {
+		t.Fatalf("reserved ts 0 not detected: %v", v)
+	}
+}
+
+// Commits() interleaves shards into global timestamp order.
+func TestCommitsSorted(t *testing.T) {
+	r := NewRecorder(3)
+	r.Record(Commit{TS: 30, Worker: 2})
+	r.Record(Commit{TS: 10, Worker: 0})
+	r.Record(Commit{TS: 20, Worker: 1})
+	got := r.Commits()
+	if len(got) != 3 || got[0].TS != 10 || got[1].TS != 20 || got[2].TS != 30 {
+		t.Fatalf("commits not sorted: %+v", got)
+	}
+}

@@ -215,6 +215,13 @@ type Config struct {
 	// MaxLockAttempts bounds no-wait lock retries during healing
 	// membership updates (§4.2.2).
 	MaxLockAttempts int
+
+	// RetryBudget bounds failed attempts per rung of the contention
+	// degradation ladder: a transaction escalates Healing → OCC → 2PL
+	// as each rung's budget is spent and fails with a typed
+	// contention error past the last rung, instead of retrying
+	// forever. Zero (the default) disables the ladder.
+	RetryBudget int
 }
 
 // DB is a database instance: a catalog of tables plus one engine.
@@ -315,6 +322,7 @@ func (db *DB) ensureEngines() {
 		NoReadCopies:    db.cfg.DisableReadCopies,
 		DetailedMetrics: db.cfg.DetailedMetrics,
 		MaxLockAttempts: db.cfg.MaxLockAttempts,
+		RetryBudget:     db.cfg.RetryBudget,
 		SyncRetries:     db.cfg.SyncRetries,
 		SyncBackoff:     db.cfg.SyncBackoff,
 		Logger:          db.logger,
