@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos
+.PHONY: build test vet race lint verify bench chaos obs-smoke
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,26 @@ race:
 # the torture to a handful of seeds (see DESIGN.md §10). Drop -short
 # for the full 64-seed sweep.
 chaos:
-	$(GO) test -race ./internal/fault/ ./internal/oracle/
-	$(GO) test -race -short -run 'Chaos|Watchdog|Ladder|Backoff|Epoch' ./internal/core/
+	$(GO) test -race ./internal/fault/ ./internal/oracle/ ./internal/obs/
+	$(GO) test -race -short -run 'Chaos|Watchdog|Ladder|Backoff|Epoch|Event|Contended' ./internal/core/
+
+# obs-smoke is the end-to-end exposition check: build the bench CLI,
+# start it with the observability endpoint, scrape /metrics until it
+# answers, and require the always-on thedb_up gauge (DESIGN.md §11.4).
+OBS_ADDR ?= 127.0.0.1:19095
+obs-smoke:
+	$(GO) build -o /tmp/thedb-bench ./cmd/thedb-bench
+	/tmp/thedb-bench -obs.addr $(OBS_ADDR) -quick -workers 2 -duration 3s fig10 & \
+	pid=$$!; \
+	ok=; \
+	for i in $$(seq 1 20); do \
+		if curl -sf http://$(OBS_ADDR)/metrics > /tmp/thedb-metrics.txt; then ok=1; break; fi; \
+		sleep 0.3; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	test -n "$$ok" || { echo "obs-smoke: /metrics never answered"; exit 1; }; \
+	grep -q '^thedb_up 1' /tmp/thedb-metrics.txt || { echo "obs-smoke: thedb_up gauge missing"; cat /tmp/thedb-metrics.txt; exit 1; }; \
+	echo "obs-smoke: /metrics serving, thedb_up present"
 
 # verify is the pre-merge gate: clean build, vet, and the full suite
 # under the race detector (the crash-torture and concurrency tests are

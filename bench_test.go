@@ -15,6 +15,7 @@ package thedb_test
 import (
 	"testing"
 
+	"thedb"
 	"thedb/internal/bench"
 	"thedb/internal/workload/tpcc"
 )
@@ -157,3 +158,25 @@ func BenchmarkTab5_THEDB_WH24(b *testing.B) { benchTPCC(b, bench.THEDB, 8, 24, t
 // validation-order rearrangement.
 func BenchmarkFig20_THEDBW_WH4(b *testing.B) { benchTPCC(b, bench.THEDBW, 8, 4, tpcc.StandardMix()) }
 func BenchmarkTab6_THEDB_WH4(b *testing.B)   { benchTPCC(b, bench.THEDB, 8, 4, tpcc.StandardMix()) }
+
+// benchFlightRecorder drives the same single-worker commit hot loop
+// with the flight recorder off (EventBuffer 0: every event site is one
+// nil check) and on, so the pair bounds the recorder's hot-loop
+// overhead. The acceptance budget for the disabled path is ≤2% delta
+// against the seed.
+func benchFlightRecorder(b *testing.B, eventBuffer int) {
+	db := counterDB(b, thedb.Config{Protocol: thedb.Healing, Workers: 1, EventBuffer: eventBuffer})
+	db.Start()
+	defer db.Close()
+	s := db.Session(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run("Incr", thedb.Int(int64(i%8))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlightRecorderOff(b *testing.B) { benchFlightRecorder(b, 0) }
+func BenchmarkFlightRecorderOn(b *testing.B)  { benchFlightRecorder(b, 4096) }

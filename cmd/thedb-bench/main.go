@@ -13,6 +13,9 @@
 //	-workers N    concurrent workers standing in for the paper's cores (default 8)
 //	-duration D   measured window per cell (default 400ms)
 //	-quick        shrink sweeps for a fast smoke run
+//	-obs.addr A   serve live metrics on A (host:port): /metrics is the
+//	              Prometheus text format, /debug/pprof/ profiles the
+//	              run with per-worker labels
 package main
 
 import (
@@ -22,12 +25,14 @@ import (
 	"time"
 
 	"thedb/internal/bench"
+	"thedb/internal/obs"
 )
 
 func main() {
 	workers := flag.Int("workers", 8, "concurrent workers (the paper's 'cores' axis)")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measured window per experiment cell")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port while experiments run")
 	flag.Parse()
 
 	args := flag.Args()
@@ -40,6 +45,18 @@ func main() {
 		Duration: *duration,
 		Out:      os.Stdout,
 		Quick:    *quick,
+	}
+
+	if *obsAddr != "" {
+		plane := obs.NewPlane()
+		bench.SetObsPlane(plane)
+		srv, err := obs.StartServer(*obsAddr, plane.Handler())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics on http://%s\n", srv.Addr())
 	}
 
 	if args[0] == "list" {

@@ -12,6 +12,8 @@
 //	scan <table> <lo> <hi>          (tables with ordered indexes)
 //	txn <stmt>; <stmt>; ...         (several statements, one transaction)
 //	stats                           (committed / restarts / heals)
+//	\metrics                        (live snapshot, Prometheus text format)
+//	\events                         (flight-recorder protocol event dump)
 //	tables
 //	help, quit
 //
@@ -36,6 +38,7 @@ import (
 	"strings"
 
 	"thedb"
+	"thedb/internal/obs"
 	"thedb/internal/workload/smallbank"
 )
 
@@ -43,7 +46,9 @@ func main() {
 	useSmallbank := flag.Bool("smallbank", false, "open the Smallbank schema (1000 accounts) instead of a bare KV table")
 	flag.Parse()
 
-	db, err := thedb.Open(thedb.Config{Protocol: thedb.Healing, Workers: 1})
+	// EventBuffer keeps the last protocol events per worker for
+	// \events — negligible cost at shell scale.
+	db, err := thedb.Open(thedb.Config{Protocol: thedb.Healing, Workers: 1, EventBuffer: 256})
 	if err != nil {
 		fatal(err)
 	}
@@ -93,6 +98,10 @@ func main() {
 			m := db.Metrics(0)
 			fmt.Printf("committed=%d restarts=%d aborted=%d heals=%d\n",
 				m.Committed, m.Restarts, m.Aborted, m.Heals)
+		case line == `\metrics`:
+			obs.WriteProm(os.Stdout, db.LiveMetrics())
+		case line == `\events`:
+			db.DumpEvents(os.Stdout)
 		default:
 			stmts := []string{line}
 			if strings.HasPrefix(line, "txn ") {
@@ -215,6 +224,8 @@ func usage() {
   scan <table> <lo> <hi>
   txn <stmt>; <stmt>; ...
   tables | stats | help | quit
+  \metrics   live snapshot in Prometheus text format
+  \events    flight-recorder protocol event dump
 `)
 }
 

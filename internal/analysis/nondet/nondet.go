@@ -19,7 +19,12 @@
 // clocks and map iteration are fine there, but math/rand is still
 // forbidden — the seeded fault.Schedule chaos injector is the only
 // sanctioned source of randomness on protocol paths, so chaos runs
-// replay exactly from a seed (DESIGN.md §10).
+// replay exactly from a seed (DESIGN.md §10). Printing to the
+// process-global streams (fmt.Print*, log.Print* and friends) is
+// forbidden there too: protocol observability goes through the
+// metrics counters and the flight recorder (internal/obs), never
+// stdout — a stray debug print on a hot path skews benchmarks and
+// interleaves garbage into harness output.
 package nondet
 
 import (
@@ -42,7 +47,7 @@ const ReplayFunc = "ReplayCommands"
 // Analyzer is the nondet pass.
 var Analyzer = &ana.Analyzer{
 	Name: "nondet",
-	Doc:  "time.Now, math/rand, and map iteration are forbidden in deterministic replay paths (internal/det, ReplayCommands); math/rand alone is forbidden in internal/core, where fault.Schedule is the sanctioned randomness",
+	Doc:  "time.Now, math/rand, and map iteration are forbidden in deterministic replay paths (internal/det, ReplayCommands); internal/core forbids math/rand (fault.Schedule is the sanctioned randomness) and fmt/log printing to process-global streams (metrics and the flight recorder are the sanctioned observability)",
 	Run:  run,
 }
 
@@ -71,9 +76,24 @@ func run(pass *ana.Pass) error {
 
 var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true}
 
-// checkRandOnly enforces the internal/core rule: math/rand (and v2)
+// forbiddenPrintFuncs are the fmt and log functions that write to the
+// process-global streams. Writer-directed fmt.Fprint* and
+// fmt.Sprintf/Errorf stay legal — the rule targets stray stdout
+// debugging, not formatting.
+var forbiddenPrintFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// checkRandOnly enforces the internal/core rules: math/rand (and v2)
 // is forbidden on protocol paths, where the seeded fault.Schedule
-// injector is the only sanctioned randomness. Wall clocks and map
+// injector is the only sanctioned randomness, and printing to the
+// process-global streams is forbidden — observability goes through
+// the metrics counters and the flight recorder. Wall clocks and map
 // iteration stay legal — core's timing feeds metrics and backoff,
 // not replayed decisions.
 func checkRandOnly(pass *ana.Pass, region ast.Node) {
@@ -86,9 +106,13 @@ func checkRandOnly(pass *ana.Pass, region ast.Node) {
 		if obj == nil || obj.Pkg() == nil {
 			return true
 		}
-		switch obj.Pkg().Path() {
+		switch pkg := obj.Pkg().Path(); pkg {
 		case "math/rand", "math/rand/v2":
-			pass.Reportf(id.Pos(), "%s.%s: randomness in internal/core must come from the seeded fault.Schedule injector so chaos runs replay from a seed", obj.Pkg().Path(), obj.Name())
+			pass.Reportf(id.Pos(), "%s.%s: randomness in internal/core must come from the seeded fault.Schedule injector so chaos runs replay from a seed", pkg, obj.Name())
+		case "fmt", "log":
+			if _, isFunc := obj.(*types.Func); isFunc && forbiddenPrintFuncs[pkg][obj.Name()] {
+				pass.Reportf(id.Pos(), "%s.%s prints to a process-global stream; protocol observability in internal/core goes through metrics counters and the flight recorder (internal/obs)", pkg, obj.Name())
+			}
 		}
 		return true
 	})

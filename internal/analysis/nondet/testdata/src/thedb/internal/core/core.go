@@ -1,9 +1,14 @@
 // Fixture mirror of the protocol engine package: internal/core allows
 // wall clocks and map iteration but forbids math/rand — the seeded
-// fault.Schedule injector is the only sanctioned randomness there.
+// fault.Schedule injector is the only sanctioned randomness there —
+// and printing to the process-global streams, which belongs to
+// metrics and the flight recorder.
 package core
 
 import (
+	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"time"
 
@@ -43,4 +48,21 @@ func tally(m map[int]int) int {
 // ambientRand reaches for process-global randomness: forbidden.
 func ambientRand() int {
 	return rand.Intn(8) // want `randomness in internal/core must come from the seeded fault.Schedule injector`
+}
+
+// dump formats into a caller-supplied writer and builds error values:
+// writer-directed and string formatting stay legal (true negatives).
+func dump(w io.Writer, n int) error {
+	fmt.Fprintf(w, "events: %d\n", n)
+	return fmt.Errorf("n = %s", fmt.Sprint(n))
+}
+
+// debugPrint writes to the process-global streams: forbidden — a
+// stray print on a protocol path skews benchmarks and bypasses the
+// flight recorder.
+func debugPrint(n int) {
+	fmt.Println("healing", n) // want `fmt.Println prints to a process-global stream`
+	fmt.Printf("%d\n", n)     // want `fmt.Printf prints to a process-global stream`
+	log.Printf("heal %d", n)  // want `log.Printf prints to a process-global stream`
+	log.Fatalln("stuck")      // want `log.Fatalln prints to a process-global stream`
 }

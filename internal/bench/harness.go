@@ -11,6 +11,7 @@ import (
 	"thedb/internal/core"
 	"thedb/internal/det"
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wal"
@@ -104,6 +105,29 @@ func (o *Opts) Defaults() {
 	}
 	if o.Duration <= 0 {
 		o.Duration = 400 * time.Millisecond
+	}
+}
+
+// obsPlane, when installed, is re-pointed at each engine the harness
+// creates, so one exposition endpoint keeps serving live metrics
+// while runners build and tear down engines per measurement cell.
+var obsPlane *obs.Plane
+
+// SetObsPlane installs the exposition hub (nil uninstalls). Call
+// before running experiments; the harness is otherwise single-driver.
+func SetObsPlane(p *obs.Plane) { obsPlane = p }
+
+// attachObs points the installed hub (if any) at the live engine.
+func attachObs(live func() *metrics.Aggregate) {
+	if obsPlane != nil {
+		obsPlane.SetSource(live)
+	}
+}
+
+// detachObs disconnects the hub when a cell's engine is torn down.
+func detachObs() {
+	if obsPlane != nil {
+		obsPlane.SetSource(nil)
 	}
 }
 
@@ -218,10 +242,11 @@ func prepareTPCC(r tpccRun) (func(tpccRun) tpccResult, func()) {
 			eng.MustRegister(s)
 		}
 		eng.Start()
+		attachObs(eng.LiveMetrics)
 		for i := 0; i < r.workers; i++ {
 			workers = append(workers, eng.Worker(i))
 		}
-		stopEng = func() { _ = eng.Stop() }
+		stopEng = func() { detachObs(); _ = eng.Stop() }
 		agg = eng.Metrics
 	}
 
@@ -247,36 +272,40 @@ func prepareTPCC(r tpccRun) (func(tpccRun) tpccResult, func()) {
 			samplers[wi] = map[string]*Sampler{}
 			go func(wi int) {
 				defer wg.Done()
-				gen := tpcc.NewGen(cfg, r.mix, wi)
-				rng := rand.New(rand.NewSource(int64(wi)*31 + 17))
-				w := workers[wi]
-				mine := samplers[wi]
-				for !stop.Load() {
-					if r.txnLimit > 0 && remaining.Add(-1) < 0 {
-						return
-					}
-					req := gen.Next()
-					if req.CrossPartition {
-						crossCount.Add(1)
-					}
-					adhoc := r.adhocPct > 0 && rng.Intn(100) < r.adhocPct
-					t0 := time.Now()
-					var err error
-					if adhoc {
-						err = runAdhoc(w, req.Proc, req.Args)
-					} else {
-						_, err = w.Run(req.Proc, req.Args...)
-					}
-					dt := time.Since(t0)
-					if err == nil && (r.procOnly == "" || r.procOnly == req.Proc) {
-						s := mine[req.Proc]
-						if s == nil {
-							s = &Sampler{}
-							mine[req.Proc] = s
+				// The pprof label makes per-worker samples separable
+				// in profiles taken through the exposition endpoint.
+				obs.DoWorker(wi, func() {
+					gen := tpcc.NewGen(cfg, r.mix, wi)
+					rng := rand.New(rand.NewSource(int64(wi)*31 + 17))
+					w := workers[wi]
+					mine := samplers[wi]
+					for !stop.Load() {
+						if r.txnLimit > 0 && remaining.Add(-1) < 0 {
+							return
 						}
-						s.Observe(float64(dt) / float64(time.Microsecond))
+						req := gen.Next()
+						if req.CrossPartition {
+							crossCount.Add(1)
+						}
+						adhoc := r.adhocPct > 0 && rng.Intn(100) < r.adhocPct
+						t0 := time.Now()
+						var err error
+						if adhoc {
+							err = runAdhoc(w, req.Proc, req.Args)
+						} else {
+							_, err = w.Run(req.Proc, req.Args...)
+						}
+						dt := time.Since(t0)
+						if err == nil && (r.procOnly == "" || r.procOnly == req.Proc) {
+							s := mine[req.Proc]
+							if s == nil {
+								s = &Sampler{}
+								mine[req.Proc] = s
+							}
+							s.Observe(float64(dt) / float64(time.Microsecond))
+						}
 					}
-				}
+				})
 			}(wi)
 		}
 		if r.txnLimit > 0 {
@@ -372,6 +401,7 @@ func prepareSmallbank(r smallbankRun) (func(smallbankRun) smallbankResult, func(
 		eng.MustRegister(s)
 	}
 	eng.Start()
+	attachObs(eng.LiveMetrics)
 
 	run := func(r smallbankRun) smallbankResult {
 		eng.ResetMetrics()
@@ -386,21 +416,23 @@ func prepareSmallbank(r smallbankRun) (func(smallbankRun) smallbankResult, func(
 			samplers[wi] = &Sampler{}
 			go func(wi int) {
 				defer wg.Done()
-				rng := rand.New(rand.NewSource(int64(wi)*13 + 7))
-				zg := zipf.New(uint64(accounts), r.theta)
-				w := eng.Worker(wi)
-				mine := samplers[wi]
-				for !stop.Load() {
-					if r.txnLimit > 0 && remaining.Add(-1) < 0 {
-						return
+				obs.DoWorker(wi, func() {
+					rng := rand.New(rand.NewSource(int64(wi)*13 + 7))
+					zg := zipf.New(uint64(accounts), r.theta)
+					w := eng.Worker(wi)
+					mine := samplers[wi]
+					for !stop.Load() {
+						if r.txnLimit > 0 && remaining.Add(-1) < 0 {
+							return
+						}
+						procName, args := smallbankRequest(rng, zg)
+						t0 := time.Now()
+						_, err := w.Run(procName, args...)
+						if err == nil {
+							mine.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
+						}
 					}
-					procName, args := smallbankRequest(rng, zg)
-					t0 := time.Now()
-					_, err := w.Run(procName, args...)
-					if err == nil {
-						mine.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
-					}
-				}
+				})
 			}(wi)
 		}
 		if r.txnLimit > 0 {
@@ -418,7 +450,7 @@ func prepareSmallbank(r smallbankRun) (func(smallbankRun) smallbankResult, func(
 		}
 		return smallbankResult{agg: eng.Metrics(wall), latency: all}
 	}
-	return run, func() { _ = eng.Stop() }
+	return run, func() { detachObs(); _ = eng.Stop() }
 }
 
 // smallbankRequest draws one transaction of the uniform six-way mix

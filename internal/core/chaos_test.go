@@ -3,15 +3,32 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"thedb/internal/fault"
+	"thedb/internal/obs"
 	"thedb/internal/oracle"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 )
+
+// dumpEvents logs the flight recorder's merged, time-ordered event
+// interleaving — the post-mortem attached to every chaos failure.
+func dumpEvents(t *testing.T, rec *obs.Recorder, cat *storage.Catalog) {
+	t.Helper()
+	var sb strings.Builder
+	rec.DumpWith(&sb, func(id int) string {
+		if tab := cat.TableByID(id); tab != nil {
+			return tab.Schema().Name
+		}
+		return fmt.Sprintf("table#%d", id)
+	})
+	t.Logf("flight recorder (%d events recorded, %d dropped):\n%s",
+		rec.Recorded(), rec.Dropped(), sb.String())
+}
 
 // auditSpec builds a read-only procedure summing all account
 // balances. A serializable engine must show it the invariant total at
@@ -107,6 +124,7 @@ func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
 	sched.Inject(fault.PostEpochAdvance, fault.ActYield, 0.30)
 
 	orc := oracle.NewRecorder(workers)
+	rec := obs.NewRecorder(workers, 1024)
 	e := NewEngine(cat, Options{
 		Protocol:      proto,
 		Workers:       workers,
@@ -114,6 +132,7 @@ func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
 		Interleave:    true,
 		Chaos:         sched,
 		Oracle:        orc,
+		Recorder:      rec,
 		// Generous per-rung budget: the ladder engages under the
 		// injected restart storms without normally exhausting; a
 		// transaction that does exhaust is shed, not a failure.
@@ -178,6 +197,7 @@ func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
 		t.Fatalf("stop: %v", err)
 	}
 	for err := range errCh {
+		dumpEvents(t, rec, cat)
 		t.Fatal(err)
 	}
 
@@ -198,7 +218,9 @@ func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
 		t.Errorf("total balance = %d, want %d (money created or destroyed)", total, accounts*initial)
 	}
 
-	// Protocol invariant: the committed history is serializable.
+	// Protocol invariant: the committed history is serializable. A
+	// violation ships with the flight-recorder interleaving — the
+	// protocol checkpoints leading up to the bad commit.
 	viols := orc.Check()
 	for i, v := range viols {
 		if i == 5 {
@@ -207,6 +229,7 @@ func runChaosSeed(t *testing.T, seed uint64, proto Protocol) {
 		t.Errorf("oracle: %v", v)
 	}
 	if len(viols) > 0 {
+		dumpEvents(t, rec, cat)
 		t.Fatalf("seed %d under %v: %d serializability violations over %d commits",
 			seed, proto, len(viols), len(orc.Commits()))
 	}

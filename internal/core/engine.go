@@ -15,6 +15,7 @@ import (
 
 	"thedb/internal/fault"
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/oracle"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
@@ -159,6 +160,14 @@ type Options struct {
 	// serializability check after the run (chaos tests).
 	Oracle *oracle.Recorder
 
+	// Recorder, when non-nil, is the flight recorder: workers and the
+	// epoch advancer record typed protocol events (validation
+	// failures, heal passes, ladder escalations, epoch seals, WAL
+	// sync outcomes, watchdog trips, commits/aborts) into per-worker
+	// lock-free rings. Nil (the default) keeps every event site at a
+	// single pointer check, mirroring Chaos.
+	Recorder *obs.Recorder
+
 	// RetryBudget bounds failed attempts per rung of the degradation
 	// ladder (DESIGN.md §10): a transaction escalates
 	// Healing → OCC → 2PL as each rung's budget is spent and fails
@@ -214,6 +223,13 @@ type Engine struct {
 	specs   map[string]*proc.Spec
 	workers []*Worker
 
+	// rec is the flight recorder (nil when event tracing is off).
+	rec *obs.Recorder
+
+	// startNS is the Start() instant (UnixNano; 0 before Start), the
+	// wall-clock origin live snapshots measure throughput against.
+	startNS atomic.Int64
+
 	// stopC is closed when the engine stops, so sleeping retriers
 	// (backoff, injected chaos stalls) wake immediately instead of
 	// delaying shutdown.
@@ -239,9 +255,11 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 		gc:      storage.NewGC(catalog),
 		specs:   make(map[string]*proc.Spec),
 		stopC:   make(chan struct{}),
+		rec:     opts.Recorder,
 	}
 	e.epoch = NewEpochManager(opts.EpochInterval)
 	e.epoch.chaos = opts.Chaos
+	e.epoch.rec = opts.Recorder
 	if opts.WatchdogLag > 0 {
 		e.epoch.Watch(opts.Workers, uint32(opts.WatchdogLag), nil)
 	}
@@ -256,6 +274,7 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 // synced so that group-committed epochs actually reach stable
 // storage (Appendix C's group commit, made crash-tolerant).
 func (e *Engine) Start() {
+	e.startNS.Store(time.Now().UnixNano())
 	e.gcKick = e.gc.Start()
 	e.epoch.Start(func(ep uint32) {
 		if e.gcKick != nil {
@@ -279,21 +298,32 @@ func (e *Engine) syncToStable(cur uint32) {
 		return
 	}
 	target := cur - 2
+	e.advancerEvent(obs.KEpochSeal, cur, uint64(target), 0)
 	for attempt := 0; ; attempt++ {
 		err := e.opts.Logger.SealAndSync(target)
 		if err == nil {
 			e.logSyncs.Add(1)
+			e.advancerEvent(obs.KWALSync, cur, 1, uint64(attempt))
 			if target > e.durableEpoch.Load() {
 				e.durableEpoch.Store(target)
 			}
 			return
 		}
 		e.logSyncFails.Add(1)
+		e.advancerEvent(obs.KWALSync, cur, 0, uint64(attempt))
 		if attempt >= e.opts.SyncRetries {
 			e.durabilityLost.Store(true)
 			return
 		}
 		time.Sleep(e.opts.SyncBackoff << attempt)
+	}
+}
+
+// advancerEvent records a flight-recorder event on the epoch
+// advancer's ring (no-op when tracing is off).
+func (e *Engine) advancerEvent(k obs.Kind, epoch uint32, a, b uint64) {
+	if e.rec != nil {
+		e.rec.Record(obs.EpochActor, k, epoch, a, b)
 	}
 }
 
@@ -369,7 +399,9 @@ func (e *Engine) Worker(i int) *Worker { return e.workers[i] }
 func (e *Engine) Workers() int { return len(e.workers) }
 
 // Metrics merges all workers' collectors, attributing the given wall
-// time.
+// time. It copies the collectors with plain loads, so it must only be
+// called once workers are quiescent (between runs, after Stop); use
+// LiveMetrics to observe a running engine.
 func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
 	ws := make([]*metrics.Worker, len(e.workers))
 	for i, w := range e.workers {
@@ -381,12 +413,62 @@ func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
 		ws[i] = &wm
 	}
 	a := metrics.Merge(wall, ws)
+	a.Epoch = e.epoch.Current()
+	e.fillEngineMetrics(a)
+	return a
+}
+
+// LiveMetrics takes an epoch-consistent snapshot of every worker's
+// counters without stopping the workers: each collector is read with
+// atomic loads, and the whole scan retries (bounded) when the global
+// epoch advances mid-scan, so the snapshot's counters all belong to
+// the same epoch window. Raw latency samples are excluded — live
+// percentiles come from the histogram buckets. Wall time is measured
+// from Start, so TPS() is the lifetime average.
+func (e *Engine) LiveMetrics() *metrics.Aggregate {
+	var wall time.Duration
+	if s := e.startNS.Load(); s != 0 {
+		wall = time.Duration(time.Now().UnixNano() - s)
+	}
+	ws := make([]*metrics.Worker, len(e.workers))
+	for attempt := 0; ; attempt++ {
+		ep := e.epoch.Current()
+		for i, w := range e.workers {
+			wm := w.m.Snapshot()
+			wm.WatchdogTrips += e.epoch.Trips(i)
+			ws[i] = &wm
+		}
+		// Epoch consistency: a snapshot spanning an epoch advance
+		// mixes pre- and post-advance counters; retry a few times,
+		// then accept (the advance period is orders of magnitude
+		// longer than a scan, so a second collision is pathological).
+		if e.epoch.Current() != ep && attempt < 3 {
+			continue
+		}
+		a := metrics.Merge(wall, ws)
+		a.Epoch = ep
+		e.fillEngineMetrics(a)
+		return a
+	}
+}
+
+// fillEngineMetrics adds the engine-owned (non-per-worker) state to
+// an aggregate: durability frontier and WAL volume.
+func (e *Engine) fillEngineMetrics(a *metrics.Aggregate) {
 	a.DurableEpoch = e.durableEpoch.Load()
 	a.DurabilityLost = e.durabilityLost.Load()
 	a.LogSyncs = e.logSyncs.Load()
 	a.LogSyncFailures = e.logSyncFails.Load()
-	return a
+	if e.opts.Logger != nil {
+		st := e.opts.Logger.Stats()
+		a.WALFrames = st.Frames
+		a.WALBytes = st.Bytes
+	}
 }
+
+// Recorder returns the flight recorder (nil when event tracing is
+// off).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // ResetMetrics clears all workers' collectors (between benchmark
 // phases).

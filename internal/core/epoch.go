@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"thedb/internal/fault"
+	"thedb/internal/obs"
 	"thedb/internal/storage"
 )
 
@@ -32,6 +33,10 @@ type EpochManager struct {
 
 	// chaos, when non-nil, is consulted around each advance.
 	chaos *fault.Schedule
+
+	// rec, when non-nil, receives epoch-advance and watchdog-trip
+	// events on the advancer's flight-recorder ring.
+	rec *obs.Recorder
 
 	// Watchdog state, armed by Watch. wd[i] packs a worker's
 	// registration into one word: bit 63 = executing a transaction,
@@ -61,6 +66,9 @@ func (m *EpochManager) Current() uint32 { return m.cur.Load() }
 // control) and runs the stall check against the new epoch.
 func (m *EpochManager) Advance() uint32 {
 	e := m.cur.Add(1)
+	if m.rec != nil {
+		m.rec.Record(obs.EpochActor, obs.KEpochAdvance, e, uint64(e), 0)
+	}
 	m.checkStalls(e)
 	return e
 }
@@ -125,6 +133,9 @@ func (m *EpochManager) checkStalls(cur uint32) {
 		// CAS so a concurrent Refresh/Idle wins over the latch.
 		if m.wd[i].CompareAndSwap(v, v|wdTripped) {
 			m.trips[i].Add(1)
+			if m.rec != nil {
+				m.rec.Record(obs.EpochActor, obs.KWatchdogTrip, cur, uint64(i), uint64(uint32(v)))
+			}
 			if m.onTrip != nil {
 				m.onTrip(i)
 			}

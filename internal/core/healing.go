@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"thedb/internal/fault"
+	"thedb/internal/obs"
 )
 
 // validateAndCommitHealing runs the paper's Algorithm 1: lock the
@@ -62,9 +63,11 @@ func (t *Txn) validateHealing() error {
 		// we read.
 		if vis == el.seenVisible && el.falseInvalidation(el.rec.Tuple()) {
 			el.rts = ts
-			t.w.m.FalseInval++
+			t.w.m.Inc(&t.w.m.FalseInval)
+			t.w.event(obs.KFalseInval, uint64(el.rec.Key()), uint64(el.tab.ID()))
 			continue
 		}
+		t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
 		if !t.canHeal() {
 			return errRestart
 		}
@@ -149,7 +152,8 @@ func (t *Txn) heal(el *Element) error {
 	if t.e.opts.DetailedMetrics {
 		defer t.timeHeal()()
 	}
-	t.w.m.Heals++
+	t.w.m.Inc(&t.w.m.Heals)
+	t.w.event(obs.KHealStart, uint64(el.rec.Key()), uint64(el.tab.ID()))
 	// Reload the inconsistent element under its lock: this is the
 	// restoration basis for the bookmarked operation(s).
 	el.rts, _, el.seenVisible = el.rec.Meta()
@@ -159,7 +163,12 @@ func (t *Txn) heal(el *Element) error {
 	for _, run := range el.bookmarks {
 		q.push(run, restoreReplay)
 	}
-	return t.drainHealQueue(q)
+	before := t.healOps
+	if err := t.drainHealQueue(q); err != nil {
+		return err
+	}
+	t.w.event(obs.KHealEnd, uint64(t.healOps-before), uint64(t.frontier))
+	return nil
 }
 
 // healFromOp heals starting from a single operation that must be
@@ -168,10 +177,16 @@ func (t *Txn) healFromOp(run *OpRun) error {
 	if t.e.opts.DetailedMetrics {
 		defer t.timeHeal()()
 	}
-	t.w.m.Heals++
+	t.w.m.Inc(&t.w.m.Heals)
+	t.w.event(obs.KHealStart, 0, 0) // 0,0 marks a phantom repair
 	q := &healQueue{kind: make(map[*OpRun]restoreKind)}
 	q.push(run, restoreReexec)
-	return t.drainHealQueue(q)
+	before := t.healOps
+	if err := t.drainHealQueue(q); err != nil {
+		return err
+	}
+	t.w.event(obs.KHealEnd, uint64(t.healOps-before), uint64(t.frontier))
+	return nil
 }
 
 // timeHeal accrues wall time spent inside healing into the
@@ -195,7 +210,7 @@ func (t *Txn) drainHealQueue(q *healQueue) error {
 		if err := t.restore(run, kind, q); err != nil {
 			return err
 		}
-		t.w.m.HealedOps++
+		t.w.m.Inc(&t.w.m.HealedOps)
 		t.healOps++
 		for _, c := range run.op.KeyChildren() {
 			q.push(t.runs[c.ID], restoreReexec)

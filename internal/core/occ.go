@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"thedb/internal/obs"
 	"thedb/internal/proc"
 )
 
@@ -30,6 +31,7 @@ func (t *Txn) validateOCC(novalidate bool) error {
 			continue
 		}
 		if ts, _, _ := el.rec.Meta(); ts != el.rts {
+			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
 			return errRestart
 		}
 	}
@@ -38,6 +40,7 @@ func (t *Txn) validateOCC(novalidate bool) error {
 	}
 	for _, sa := range t.rw.scans {
 		if sa.changed() {
+			t.w.event(obs.KValidationFail, 0, 0) // 0,0: structural (phantom)
 			return errRestart
 		}
 	}
@@ -87,14 +90,17 @@ func (t *Txn) validateSilo(novalidate bool) error {
 		}
 		ts, locked, _ := el.rec.Meta()
 		if ts != el.rts {
+			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
 			return errRestart
 		}
 		if locked && !el.locked {
+			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
 			return errRestart
 		}
 	}
 	for _, sa := range t.rw.scans {
 		if sa.changed() {
+			t.w.event(obs.KValidationFail, 0, 0) // 0,0: structural (phantom)
 			return errRestart
 		}
 	}

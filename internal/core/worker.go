@@ -8,6 +8,7 @@ import (
 
 	"thedb/internal/fault"
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wal"
@@ -42,6 +43,17 @@ func (w *Worker) ID() int { return w.id }
 
 // Metrics returns the worker's collector.
 func (w *Worker) Metrics() *metrics.Worker { return &w.m }
+
+// event records a flight-recorder event on this worker's ring,
+// stamped with the current global epoch. With tracing disabled
+// (Options.Recorder nil, the default) the entire call is one pointer
+// check and must stay allocation-free — the hot paths call it
+// unconditionally.
+func (w *Worker) event(k obs.Kind, a, b uint64) {
+	if r := w.e.rec; r != nil {
+		r.Record(w.id, k, w.e.epoch.Current(), a, b)
+	}
+}
 
 // Run executes the named stored procedure to completion under the
 // engine's protocol, retrying aborted attempts (down the degradation
@@ -103,22 +115,30 @@ func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv fun
 		prog := spec.Instantiate(env)
 		err := w.attempt(prog, env, procName, adhoc, lad)
 		if err == nil {
-			w.m.Committed++
-			w.m.ObserveLatency(time.Since(start))
+			lat := time.Since(start)
+			w.m.Inc(&w.m.Committed)
+			w.m.ObserveLatency(lat)
+			w.event(obs.KCommit, w.lastTS, uint64(lat/time.Microsecond))
 			return env, nil
 		}
 		if errors.Is(err, errRestart) {
-			w.m.Restarts++
+			w.m.Inc(&w.m.Restarts)
+			prevRung := lad.idx
 			if !lad.next(&w.m) {
-				w.m.BudgetExhausted++
-				w.m.Aborted++
+				w.m.Inc(&w.m.BudgetExhausted)
+				w.m.Inc(&w.m.Aborted)
+				w.event(obs.KAbort, uint64(obs.AbortContended), uint64(lad.total))
 				return env, fmt.Errorf("%w: %q gave up after %d attempts", ErrContended, procName, lad.total)
+			}
+			if lad.idx != prevRung {
+				w.event(obs.KLadderEscalate, uint64(lad.rungs[prevRung].proto), uint64(lad.proto()))
 			}
 			w.backoff(lad.spent)
 			continue
 		}
 		// Application abort: permanent.
-		w.m.Aborted++
+		w.m.Inc(&w.m.Aborted)
+		w.event(obs.KAbort, uint64(obs.AbortUser), uint64(lad.total))
 		return env, err
 	}
 }
@@ -192,7 +212,7 @@ func (l *ladder) next(m *metrics.Worker) bool {
 		if l.idx >= len(l.rungs) {
 			return false
 		}
-		m.HealingFallbacks++
+		m.Inc(&m.HealingFallbacks)
 	}
 	return true
 }

@@ -162,7 +162,7 @@ func (w *Worker) Run(procName string, args ...storage.Value) (*proc.Env, error) 
 		}
 		if err != nil {
 			t.rollback()
-			w.m.Aborted++
+			w.m.Inc(&w.m.Aborted)
 			return env, err
 		}
 		if w.e.interleave {
@@ -178,7 +178,7 @@ func (w *Worker) Run(procName string, args ...storage.Value) (*proc.Env, error) 
 			u.rec.SetTimestamp(ts)
 		}
 	}
-	w.m.Committed++
+	w.m.Inc(&w.m.Committed)
 	w.m.ObserveLatency(time.Since(start)) //thedb:nolint:nondet latency metrics only; never feeds transaction logic
 	return env, nil
 }

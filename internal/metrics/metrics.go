@@ -3,8 +3,11 @@
 // paper's doubling bucket layout (Tables 1, 3, 5), throughput, abort
 // and restart counts (Fig. 9, Tables 2, 6).
 //
-// Each worker owns a private Worker collector (no synchronization on
-// the hot path); Aggregate folds workers together after a run.
+// Each worker owns a private Worker collector; the counter fields are
+// updated with atomic adds (no locks, no sharing of cachelines
+// between workers) so a live snapshot can read them mid-run without
+// stopping the worker — see Snapshot. Aggregate folds workers
+// together after a run or at a snapshot instant.
 package metrics
 
 import (
@@ -12,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +31,9 @@ const (
 	PhaseAbort // cleanup + wasted work of aborted attempts
 	numPhases
 )
+
+// NumPhases is the phase count (exposition iterates all phases).
+const NumPhases = int(numPhases)
 
 // String names the phase.
 func (p Phase) String() string {
@@ -51,6 +58,12 @@ func (p Phase) String() string {
 const numBuckets = 24
 
 // Worker is a single worker's private metrics collector.
+//
+// The int64 counter fields are written with atomic adds by the owning
+// worker and may be read atomically by other goroutines mid-run (use
+// Snapshot); reading them with plain loads is only safe once the
+// worker has stopped. The raw percentile samples are worker-private
+// until the run ends and are never part of a live snapshot.
 type Worker struct {
 	Committed  int64
 	Aborted    int64 // transactions given up permanently (user abort, deadlock prevention)
@@ -64,6 +77,11 @@ type Worker struct {
 	BudgetExhausted  int64 // transactions that ran out of retry budget (ErrContended)
 	WatchdogTrips    int64 // stuck-epoch watchdog firings attributed to this worker
 
+	// LatencySumNS totals committed-transaction latency, pairing with
+	// the histogram buckets for exposition (_sum of the Prometheus
+	// histogram).
+	LatencySumNS int64
+
 	PhaseNS [numPhases]int64
 
 	latency [numBuckets]int64 // committed-transaction latency, bucket i: [2^i, 2^(i+1)) µs
@@ -73,11 +91,28 @@ type Worker struct {
 // maxSamples caps raw percentile samples per worker.
 const maxSamples = 1 << 17
 
+// MaxMergedSamples is the documented global bound on raw latency
+// samples an Aggregate retains: Merge reservoir-downsamples past it,
+// so many-worker runs never hold unbounded float64 slices (each
+// worker alone may contribute up to maxSamples = 1<<17).
+const MaxMergedSamples = 1 << 18
+
+// Inc atomically adds 1 to a counter field of this collector; Add
+// adds n. Callers pass a pointer to one of the exported int64 fields
+// (e.g. w.Inc(&w.Committed)).
+func (w *Worker) Inc(field *int64) { atomic.AddInt64(field, 1) }
+
+// Add atomically adds n to a counter field of this collector.
+func (w *Worker) Add(field *int64, n int64) { atomic.AddInt64(field, n) }
+
 // AddPhase accrues d into the phase's total.
-func (w *Worker) AddPhase(p Phase, d time.Duration) { w.PhaseNS[p] += int64(d) }
+func (w *Worker) AddPhase(p Phase, d time.Duration) {
+	atomic.AddInt64(&w.PhaseNS[p], int64(d))
+}
 
 // ObserveLatency records one committed transaction's latency.
 func (w *Worker) ObserveLatency(d time.Duration) {
+	atomic.AddInt64(&w.LatencySumNS, int64(d))
 	us := float64(d) / float64(time.Microsecond)
 	b := 0
 	if us >= 1 {
@@ -86,10 +121,36 @@ func (w *Worker) ObserveLatency(d time.Duration) {
 	if b >= numBuckets {
 		b = numBuckets - 1
 	}
-	w.latency[b]++
+	atomic.AddInt64(&w.latency[b], 1)
 	if len(w.samples) < maxSamples {
 		w.samples = append(w.samples, us)
 	}
+}
+
+// Snapshot returns an atomically-read copy of the worker's counters,
+// safe to take while the worker keeps committing. The raw percentile
+// samples are deliberately excluded (they are append-only
+// worker-private state, merged only after a run); histogram buckets,
+// phase times and all counters are included.
+func (w *Worker) Snapshot() Worker {
+	var s Worker
+	s.Committed = atomic.LoadInt64(&w.Committed)
+	s.Aborted = atomic.LoadInt64(&w.Aborted)
+	s.Restarts = atomic.LoadInt64(&w.Restarts)
+	s.Heals = atomic.LoadInt64(&w.Heals)
+	s.HealedOps = atomic.LoadInt64(&w.HealedOps)
+	s.FalseInval = atomic.LoadInt64(&w.FalseInval)
+	s.HealingFallbacks = atomic.LoadInt64(&w.HealingFallbacks)
+	s.BudgetExhausted = atomic.LoadInt64(&w.BudgetExhausted)
+	s.WatchdogTrips = atomic.LoadInt64(&w.WatchdogTrips)
+	s.LatencySumNS = atomic.LoadInt64(&w.LatencySumNS)
+	for p := range s.PhaseNS {
+		s.PhaseNS[p] = atomic.LoadInt64(&w.PhaseNS[p])
+	}
+	for b := range s.latency {
+		s.latency[b] = atomic.LoadInt64(&w.latency[b])
+	}
+	return s
 }
 
 // Aggregate is the merged view over all workers plus the wall-clock
@@ -99,17 +160,31 @@ type Aggregate struct {
 	Wall    time.Duration
 	Workers int
 
+	// Epoch is the global epoch at snapshot time (live snapshots
+	// only; zero on post-run merges).
+	Epoch uint32
+
 	// Durability state, filled by the engine (not per-worker; zero
 	// when logging is off or on the deterministic engine).
 	DurableEpoch    uint32 // highest epoch synced to stable storage on every stream
 	DurabilityLost  bool   // a log sync exhausted its retries; recent epochs may not be durable
 	LogSyncs        int64  // successful epoch log syncs
 	LogSyncFailures int64  // failed sync attempts (includes retried ones)
+
+	// WAL volume (engine-filled, zero when logging is off).
+	WALFrames int64 // log frames written across all streams
+	WALBytes  int64 // log bytes written across all streams
 }
 
-// Merge folds per-worker collectors into one aggregate.
+// Merge folds per-worker collectors into one aggregate. The
+// concatenated raw-sample set is bounded by MaxMergedSamples via
+// deterministic reservoir downsampling (algorithm R with a fixed-seed
+// splitmix64 stream), so percentiles stay representative of the whole
+// population without the aggregate holding every sample.
 func Merge(wall time.Duration, workers []*Worker) *Aggregate {
 	a := &Aggregate{Wall: wall, Workers: len(workers)}
+	rng := uint64(0x9e3779b97f4a7c15) // fixed seed: merges are reproducible
+	seen := 0
 	for _, w := range workers {
 		a.Committed += w.Committed
 		a.Aborted += w.Aborted
@@ -120,13 +195,28 @@ func Merge(wall time.Duration, workers []*Worker) *Aggregate {
 		a.HealingFallbacks += w.HealingFallbacks
 		a.BudgetExhausted += w.BudgetExhausted
 		a.WatchdogTrips += w.WatchdogTrips
+		a.LatencySumNS += w.LatencySumNS
 		for p := range w.PhaseNS {
 			a.PhaseNS[p] += w.PhaseNS[p]
 		}
 		for b := range w.latency {
 			a.latency[b] += w.latency[b]
 		}
-		a.samples = append(a.samples, w.samples...)
+		for _, s := range w.samples {
+			if len(a.samples) < MaxMergedSamples {
+				a.samples = append(a.samples, s)
+			} else {
+				rng += 0x9e3779b97f4a7c15
+				z := rng
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				z ^= z >> 31
+				if j := z % uint64(seen+1); j < MaxMergedSamples {
+					a.samples[j] = s
+				}
+			}
+			seen++
+		}
 	}
 	return a
 }
@@ -186,7 +276,12 @@ func (a *Aggregate) LatencyShare(loUS, hiUS float64) float64 {
 }
 
 // Percentile returns the p-th latency percentile in microseconds
-// (p in [0, 100]).
+// (p in [0, 100]), linearly interpolating between adjacent order
+// statistics: rank = p/100·(n−1), value = s[⌊rank⌋] weighted toward
+// s[⌊rank⌋+1] by the fractional part. A truncating index would
+// under-report high percentiles on small sample sets (p99 of 10
+// samples must sit between the two largest, not on the second
+// largest).
 func (a *Aggregate) Percentile(p float64) float64 {
 	if len(a.samples) == 0 {
 		return 0
@@ -194,12 +289,41 @@ func (a *Aggregate) Percentile(p float64) float64 {
 	s := make([]float64, len(a.samples))
 	copy(s, a.samples)
 	sort.Float64s(s)
-	idx := int(p / 100 * float64(len(s)-1))
-	return s[idx]
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
 // Samples returns the number of raw latency samples retained.
 func (a *Aggregate) Samples() int { return len(a.samples) }
+
+// LatencyBuckets returns the doubling-bucket latency histogram:
+// uppers[i] is bucket i's exclusive upper edge in microseconds
+// (2^(i+1), +Inf for the last) and counts[i] the committed
+// transactions that landed in it. Used by the Prometheus exposition.
+func (a *Aggregate) LatencyBuckets() (uppers []float64, counts []int64) {
+	uppers = make([]float64, numBuckets)
+	counts = make([]int64, numBuckets)
+	for i := 0; i < numBuckets; i++ {
+		if i == numBuckets-1 {
+			uppers[i] = math.Inf(1)
+		} else {
+			uppers[i] = math.Pow(2, float64(i+1))
+		}
+		counts[i] = a.latency[i]
+	}
+	return uppers, counts
+}
 
 // BreakdownString renders the phase breakdown as percentages,
 // followed by the degradation-ladder counters when any are nonzero.

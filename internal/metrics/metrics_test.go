@@ -104,6 +104,98 @@ func TestLatencyPercentilesAndShares(t *testing.T) {
 	}
 }
 
+// TestPercentileInterpolation pins the linear-interpolation contract
+// on a known distribution: ten samples 10,20,...,100µs. rank =
+// p/100·(n−1), interpolating between adjacent order statistics — a
+// truncating index would report p50=50 and p99=90 here.
+func TestPercentileInterpolation(t *testing.T) {
+	w := &Worker{}
+	for i := 1; i <= 10; i++ {
+		w.ObserveLatency(time.Duration(10*i) * time.Microsecond)
+	}
+	a := Merge(time.Second, []*Worker{w})
+	cases := []struct{ p, want float64 }{
+		{0, 10},    // floor clamp
+		{100, 100}, // ceiling clamp
+		{50, 55},   // rank 4.5: halfway between 50 and 60
+		{25, 32.5}, // rank 2.25
+		{99, 99.1}, // rank 8.91: between the two largest
+		{90, 91},   // rank 8.1
+	}
+	for _, c := range cases {
+		if got := a.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// TestMergeCapsSamples: concatenating more than MaxMergedSamples raw
+// samples must reservoir-downsample to exactly the cap, keep the
+// result deterministic across merges, and retain samples from every
+// contributing worker (representativeness, not truncation).
+func TestMergeCapsSamples(t *testing.T) {
+	mkWorker := func(v float64) *Worker {
+		w := &Worker{}
+		w.samples = make([]float64, maxSamples)
+		for i := range w.samples {
+			w.samples[i] = v
+		}
+		return w
+	}
+	workers := []*Worker{mkWorker(1), mkWorker(2), mkWorker(3)}
+	a := Merge(time.Second, workers)
+	if a.Samples() != MaxMergedSamples {
+		t.Fatalf("merged samples = %d, want cap %d", a.Samples(), MaxMergedSamples)
+	}
+	counts := map[float64]int{}
+	for _, s := range a.samples {
+		counts[s]++
+	}
+	for v := 1.0; v <= 3; v++ {
+		if counts[v] == 0 {
+			t.Errorf("reservoir lost every sample of worker %g — truncation, not downsampling", v)
+		}
+	}
+	// A tail-truncating cap would keep zero samples from the last
+	// worker's overflow; algorithm R keeps roughly its fair share.
+	if frac := float64(counts[3]) / float64(a.Samples()); frac < 0.15 {
+		t.Errorf("last worker's share = %.3f, want ≈ 1/3", frac)
+	}
+	b := Merge(time.Second, workers)
+	for i := range a.samples {
+		if a.samples[i] != b.samples[i] {
+			t.Fatalf("merge is nondeterministic at sample %d: %g vs %g", i, a.samples[i], b.samples[i])
+		}
+	}
+}
+
+// TestSnapshotCopiesCountersExcludesSamples: Snapshot must carry
+// every counter, phase total and histogram bucket, but never the
+// worker-private raw sample slice.
+func TestSnapshotCopiesCountersExcludesSamples(t *testing.T) {
+	w := &Worker{}
+	w.Inc(&w.Committed)
+	w.Add(&w.Restarts, 5)
+	w.AddPhase(PhaseHeal, time.Millisecond)
+	w.ObserveLatency(3 * time.Microsecond)
+	s := w.Snapshot()
+	if s.Committed != 1 || s.Restarts != 5 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if s.PhaseNS[PhaseHeal] != int64(time.Millisecond) {
+		t.Fatalf("snapshot phase = %d", s.PhaseNS[PhaseHeal])
+	}
+	if s.latency[1] != 1 { // 3µs lands in bucket [2,4)
+		t.Fatalf("snapshot histogram = %v", s.latency)
+	}
+	if s.LatencySumNS != int64(3*time.Microsecond) {
+		t.Fatalf("snapshot latency sum = %d", s.LatencySumNS)
+	}
+	if s.samples != nil {
+		t.Fatal("snapshot must not carry the raw sample slice")
+	}
+}
+
 func TestPhaseNames(t *testing.T) {
 	names := map[Phase]string{
 		PhaseRead: "read", PhaseValidate: "validate", PhaseHeal: "heal",

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"thedb/internal/metrics"
+)
+
+// Plane is a process-wide exposition hub: an HTTP handler whose
+// live-metrics source and flight recorder can be swapped at runtime,
+// so a benchmark harness that creates and destroys engines per cell
+// keeps serving /metrics from whichever engine is currently live.
+type Plane struct {
+	src       atomic.Pointer[source]
+	rec       atomic.Pointer[Recorder]
+	tableName atomic.Pointer[func(int) string]
+}
+
+// source boxes the snapshot closure (atomic.Pointer needs a concrete
+// pointee type).
+type source struct {
+	live func() *metrics.Aggregate
+}
+
+// NewPlane builds an empty hub; it serves thedb_up until a source is
+// attached.
+func NewPlane() *Plane { return &Plane{} }
+
+// SetSource attaches the live-snapshot closure (nil detaches).
+func (p *Plane) SetSource(live func() *metrics.Aggregate) {
+	if live == nil {
+		p.src.Store(nil)
+		return
+	}
+	p.src.Store(&source{live: live})
+}
+
+// SetRecorder attaches the flight recorder served at /debug/events
+// (nil detaches). tableName, optional, resolves table IDs in dumps.
+func (p *Plane) SetRecorder(rec *Recorder, tableName func(int) string) {
+	p.rec.Store(rec)
+	if tableName == nil {
+		p.tableName.Store(nil)
+	} else {
+		p.tableName.Store(&tableName)
+	}
+}
+
+// Handler returns the exposition mux:
+//
+//	/metrics       Prometheus text format of the live snapshot
+//	/debug/events  flight-recorder dump (merged, time-ordered)
+//	/debug/pprof/  the standard pprof index (worker goroutines carry
+//	               a thedb_worker label when driven via DoWorker)
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var agg *metrics.Aggregate
+		if s := p.src.Load(); s != nil {
+			agg = s.live()
+		}
+		WriteProm(w, agg)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		rec := p.rec.Load()
+		if rec == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var tn func(int) string
+		if f := p.tableName.Load(); f != nil {
+			tn = *f
+		}
+		rec.DumpWith(w, tn)
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	l net.Listener
+	s *http.Server
+}
+
+// StartServer listens on addr (host:port; :0 picks a free port) and
+// serves h in the background. The caller owns Close.
+func StartServer(addr string, h http.Handler) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown; nothing to do
+		// either way — the endpoint is best-effort by design.
+		_ = s.Serve(l)
+	}()
+	return &Server{l: l, s: s}, nil
+}
+
+// Addr returns the bound address (useful with :0).
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down, waiting briefly for in-flight
+// scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.s.Shutdown(ctx)
+}
+
+// DoWorker runs fn on the calling goroutine with a pprof label
+// identifying the worker, so CPU and goroutine profiles taken through
+// the exposition endpoint attribute samples per worker
+// (runtime/pprof.Do label propagation).
+func DoWorker(id int, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("thedb_worker", strconv.Itoa(id)),
+		func(context.Context) { fn() })
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"thedb/internal/metrics"
+)
+
+// WriteProm renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE comment pairs followed
+// by one sample line per series. Counters carry the _total suffix;
+// the latency histogram uses the engine's doubling buckets converted
+// to seconds with cumulative le edges, _sum and _count.
+//
+// thedb_up is always rendered, even from a zero snapshot, so scrapers
+// (and the CI smoke) have one guaranteed gauge to assert on.
+func WriteProm(w io.Writer, a *metrics.Aggregate) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("thedb_up", "1 while the exposition plane is serving.", 1)
+	if a == nil {
+		return
+	}
+
+	counter("thedb_committed_total", "Committed transactions.", a.Committed)
+	counter("thedb_aborted_total", "Permanently aborted transactions.", a.Aborted)
+	counter("thedb_restarts_total", "Abort-and-restart events.", a.Restarts)
+	counter("thedb_heals_total", "Healing-phase invocations.", a.Heals)
+	counter("thedb_healed_ops_total", "Operations restored by healing.", a.HealedOps)
+	counter("thedb_false_invalidations_total", "Validation failures dismissed as false invalidations.", a.FalseInval)
+	counter("thedb_ladder_fallbacks_total", "Degradation-ladder escalations to a less optimistic rung.", a.HealingFallbacks)
+	counter("thedb_budget_exhausted_total", "Transactions that spent their retry budget (ErrContended).", a.BudgetExhausted)
+	counter("thedb_watchdog_trips_total", "Stuck-epoch watchdog firings.", a.WatchdogTrips)
+	counter("thedb_log_syncs_total", "Successful epoch log syncs.", a.LogSyncs)
+	counter("thedb_log_sync_failures_total", "Failed epoch log sync attempts.", a.LogSyncFailures)
+	counter("thedb_wal_frames_total", "WAL frames written across all streams.", a.WALFrames)
+	counter("thedb_wal_bytes_total", "WAL bytes written across all streams.", a.WALBytes)
+
+	gauge("thedb_workers", "Execution workers configured.", float64(a.Workers))
+	gauge("thedb_epoch", "Global epoch at snapshot time.", float64(a.Epoch))
+	gauge("thedb_durable_epoch", "Highest epoch on stable storage in every log stream.", float64(a.DurableEpoch))
+	lost := 0.0
+	if a.DurabilityLost {
+		lost = 1
+	}
+	gauge("thedb_durability_lost", "1 after a log sync exhausted its retries.", lost)
+	gauge("thedb_tps", "Committed transactions per second of wall time.", a.TPS())
+	gauge("thedb_abort_rate", "Restarts per committed transaction.", a.AbortRate())
+
+	name := "thedb_phase_seconds_total"
+	fmt.Fprintf(w, "# HELP %s Cumulative transaction-processing time by phase (Fig. 19 breakdown).\n# TYPE %s counter\n", name, name)
+	for p := 0; p < metrics.NumPhases; p++ {
+		ph := metrics.Phase(p)
+		fmt.Fprintf(w, "%s{phase=%q} %s\n", name, ph.String(), formatFloat(float64(a.PhaseNS[ph])/float64(time.Second)))
+	}
+
+	writeLatencyHistogram(w, a)
+}
+
+// writeLatencyHistogram emits the committed-latency doubling buckets
+// as a Prometheus histogram in seconds.
+func writeLatencyHistogram(w io.Writer, a *metrics.Aggregate) {
+	name := "thedb_txn_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Committed-transaction latency (doubling buckets).\n# TYPE %s histogram\n", name, name)
+	uppers, counts := a.LatencyBuckets()
+	var cum int64
+	for i, upperUS := range uppers {
+		cum += counts[i]
+		le := "+Inf"
+		if !math.IsInf(upperUS, 1) {
+			le = formatFloat(upperUS / 1e6)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(a.LatencySumNS)/float64(time.Second)))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// formatFloat renders a float the way Prometheus expects: plain
+// decimal or scientific, never fmt's default %v oddities for ±Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

@@ -96,6 +96,26 @@ func NewLogger(mode Mode, workers int, sink func(worker int) io.Writer) *Logger 
 // Mode returns the logging mode.
 func (l *Logger) Mode() Mode { return l.mode }
 
+// Stats holds cumulative frame-write counters across all streams.
+type Stats struct {
+	Frames int64 // frames appended (entries, commits, seals)
+	Bytes  int64 // framed bytes appended (payload + frame overhead)
+}
+
+// Stats sums the per-stream counters. Safe to call while workers
+// append: each stream's counters are read under its own mutex, so the
+// totals are a per-stream-consistent (not cross-stream-atomic) view.
+func (l *Logger) Stats() Stats {
+	var s Stats
+	for _, wl := range l.workers {
+		wl.mu.Lock()
+		s.Frames += wl.frames
+		s.Bytes += wl.bytes
+		wl.mu.Unlock()
+	}
+	return s
+}
+
 // Worker returns worker i's log stream.
 func (l *Logger) Worker(i int) *WorkerLog { return l.workers[i] }
 
@@ -173,6 +193,8 @@ type WorkerLog struct {
 	sealed     uint32 // highest epoch sealed in this stream
 	inGroup    bool   // between BeginCommit and EndCommit
 	hasEntries bool   // stream has ever received a frame
+	frames     int64  // frames appended to this stream
+	bytes      int64  // framed bytes appended to this stream
 }
 
 // BeginCommit opens a transaction's log record group. In the epoch
@@ -285,6 +307,8 @@ func (wl *WorkerLog) Flush() error {
 func (wl *WorkerLog) writeFrameLocked(payload []byte) error {
 	wl.frame = appendFrame(wl.frame[:0], payload)
 	wl.hasEntries = true
+	wl.frames++
+	wl.bytes += int64(len(wl.frame))
 	_, err := wl.w.Write(wl.frame)
 	return err
 }

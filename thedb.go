@@ -31,11 +31,13 @@ package thedb
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"thedb/internal/core"
 	"thedb/internal/det"
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wal"
@@ -222,6 +224,15 @@ type Config struct {
 	// contention error past the last rung, instead of retrying
 	// forever. Zero (the default) disables the ladder.
 	RetryBudget int
+
+	// EventBuffer enables the flight recorder: each worker (plus the
+	// epoch advancer) gets a lock-free ring holding the last
+	// EventBuffer protocol events, dumped via DumpEvents or served at
+	// /debug/events by ObsHandler. Zero (the default) disables
+	// recording entirely — the per-event cost is then a single nil
+	// check. Rounded up to a power of two. Not supported by the
+	// Deterministic engine.
+	EventBuffer int
 }
 
 // DB is a database instance: a catalog of tables plus one engine.
@@ -231,6 +242,7 @@ type DB struct {
 	eng     *core.Engine // nil for Deterministic
 	deng    *det.Engine  // nil otherwise
 	logger  *wal.Logger
+	rec     *obs.Recorder // nil unless Config.EventBuffer > 0
 	started bool
 }
 
@@ -309,6 +321,9 @@ func (db *DB) ensureEngines() {
 	if db.cfg.LogSink != nil {
 		db.logger = wal.NewLogger(db.cfg.LogMode, db.cfg.Workers, db.cfg.LogSink)
 	}
+	if db.cfg.EventBuffer > 0 {
+		db.rec = obs.NewRecorder(db.cfg.Workers, db.cfg.EventBuffer)
+	}
 	db.eng = core.NewEngine(db.catalog, core.Options{
 		Protocol: core.Protocol(db.cfg.Protocol),
 		Workers:  db.cfg.Workers,
@@ -326,6 +341,7 @@ func (db *DB) ensureEngines() {
 		SyncRetries:     db.cfg.SyncRetries,
 		SyncBackoff:     db.cfg.SyncBackoff,
 		Logger:          db.logger,
+		Recorder:        db.rec,
 	})
 }
 
@@ -380,6 +396,61 @@ func (db *DB) Metrics(wall time.Duration) *metrics.Aggregate {
 		return db.deng.Metrics(wall)
 	}
 	return db.eng.Metrics(wall)
+}
+
+// LiveMetrics snapshots all sessions' counters while transactions are
+// in flight — unlike Metrics, which requires quiescence. The snapshot
+// is epoch-consistent: counters are read atomically and the scan
+// retries if the global epoch advances mid-read. Wall time (for TPS)
+// runs from Start. Returns nil on the Deterministic engine, which has
+// no live-snapshot path.
+func (db *DB) LiveMetrics() *metrics.Aggregate {
+	if db.deng != nil || db.eng == nil {
+		return nil
+	}
+	return db.eng.LiveMetrics()
+}
+
+// Event is one decoded flight-recorder entry (see Config.EventBuffer).
+type Event = obs.Event
+
+// Events returns the flight recorder's surviving events merged across
+// all rings in recording order. Empty unless Config.EventBuffer > 0.
+func (db *DB) Events() []Event {
+	if db.rec == nil {
+		return nil
+	}
+	return db.rec.Events()
+}
+
+// DumpEvents writes the flight recorder's merged, time-ordered event
+// interleaving — one line per event naming the worker, epoch and
+// protocol checkpoint — resolving table IDs through the catalog.
+// A no-op unless Config.EventBuffer > 0.
+func (db *DB) DumpEvents(w io.Writer) {
+	if db.rec == nil {
+		return
+	}
+	db.rec.DumpWith(w, db.tableName)
+}
+
+func (db *DB) tableName(id int) string {
+	if tab := db.catalog.TableByID(id); tab != nil {
+		return tab.Schema().Name
+	}
+	return fmt.Sprintf("table#%d", id)
+}
+
+// ObsHandler returns the observability HTTP handler: /metrics
+// (Prometheus text format of LiveMetrics), /debug/events (flight
+// recorder dump, 404 when EventBuffer is 0) and /debug/pprof/. Mount
+// it on any mux or serve it with obs.StartServer.
+func (db *DB) ObsHandler() http.Handler {
+	db.ensureEngines()
+	p := obs.NewPlane()
+	p.SetSource(db.LiveMetrics)
+	p.SetRecorder(db.rec, db.tableName)
+	return p.Handler()
 }
 
 // ResetMetrics clears all sessions' counters.
