@@ -1,0 +1,643 @@
+// Package client is THEDB's Go network client: a connection-pooled,
+// pipelined stored-procedure caller that cooperates with the server's
+// load shedding.
+//
+// Calls are procedure invocations — Call("PayBill", thedb.Int(7)) —
+// multiplexed over a small pool of TCP connections. Each connection
+// pipelines up to the server-advertised in-flight window and matches
+// responses to requests by id, so responses may return out of order
+// and a slow transaction never blocks the wire behind it.
+//
+// When the server sheds (wire.CodeShed), reports engine contention
+// (wire.CodeContended) or drains (wire.CodeDraining), the error
+// carries a backoff hint; Call retries with jittered exponential
+// backoff floored at that hint, up to Options.RetryAttempts. All
+// other errors — user aborts, unknown procedures, protocol faults —
+// return immediately.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thedb/internal/storage"
+	"thedb/internal/wire"
+)
+
+// Options tunes a Client. The zero value gets sensible defaults.
+type Options struct {
+	// Conns is the connection-pool size (default 1). Calls round-robin
+	// across the pool.
+	Conns int
+
+	// MaxFrame bounds response-frame payloads this client will accept
+	// (default wire.DefaultMaxFrame).
+	MaxFrame int
+
+	// DialTimeout bounds connection establishment including the
+	// handshake (default 5s).
+	DialTimeout time.Duration
+
+	// RetryAttempts is the number of retries after a retryable server
+	// error before giving up (default 8). Zero keeps the default; use
+	// -1 to disable retries.
+	RetryAttempts int
+
+	// RetryBase and RetryMax shape the jittered exponential backoff
+	// between retries (defaults 500µs and 100ms). The server's hint
+	// acts as a floor for each sleep.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// Name identifies this client in the handshake (default
+	// "thedb-go").
+	Name string
+}
+
+func (o *Options) fill() {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryAttempts == 0 {
+		o.RetryAttempts = 8
+	}
+	if o.RetryAttempts < 0 {
+		o.RetryAttempts = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 500 * time.Microsecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 100 * time.Millisecond
+	}
+	if o.Name == "" {
+		o.Name = "thedb-go"
+	}
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Result is one committed transaction's named outputs.
+type Result struct {
+	outs []wire.Output
+}
+
+// Names lists the output variables in sorted order.
+func (r *Result) Names() []string {
+	names := make([]string, len(r.outs))
+	for i, o := range r.outs {
+		names[i] = o.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Result) find(name string) (wire.Output, bool) {
+	for _, o := range r.outs {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return wire.Output{}, false
+}
+
+// Has reports whether the transaction produced output name.
+func (r *Result) Has(name string) bool {
+	_, ok := r.find(name)
+	return ok
+}
+
+// Val returns the scalar output name, or Null if absent.
+func (r *Result) Val(name string) storage.Value {
+	o, ok := r.find(name)
+	if !ok || len(o.Vals) == 0 {
+		return storage.Null
+	}
+	return o.Vals[0]
+}
+
+// Vals returns the list output name (range-read results), or nil.
+func (r *Result) Vals(name string) []storage.Value {
+	o, ok := r.find(name)
+	if !ok {
+		return nil
+	}
+	return o.Vals
+}
+
+// Invocation names one procedure call for CallBatch.
+type Invocation struct {
+	Proc string
+	Args []storage.Value
+}
+
+// Reply pairs one batched invocation's outcome.
+type Reply struct {
+	Result *Result
+	Err    error
+}
+
+// Client is a pooled, pipelined connection to one THEDB server. It is
+// safe for concurrent use.
+type Client struct {
+	addr string
+	opts Options
+
+	next atomic.Uint64
+
+	mu     sync.Mutex
+	pool   []*clientConn
+	closed bool
+}
+
+// Dial connects to a THEDB server. Connections are established
+// lazily; Dial itself opens one to validate the address and protocol
+// version.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.fill()
+	c := &Client{addr: addr, opts: opts, pool: make([]*clientConn, opts.Conns)}
+	cc, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.pool[0] = cc
+	return c, nil
+}
+
+// Close releases every pooled connection. In-flight calls fail with a
+// connection error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var errs []error
+	for i, cc := range c.pool {
+		if cc == nil {
+			continue
+		}
+		if err := cc.close(ErrClosed); err != nil {
+			errs = append(errs, err)
+		}
+		c.pool[i] = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Call invokes a stored procedure and waits for its outputs, retrying
+// shed/contended/draining responses with jittered backoff. A nil
+// error means the transaction committed on the server.
+func (c *Client) Call(ctx context.Context, procName string, args ...storage.Value) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return nil, err
+			}
+		}
+		res, err := c.callOnce(ctx, procName, args)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var re *wire.RemoteError
+		if errors.As(err, &re) && re.Retryable() {
+			continue
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("client: %d retries exhausted: %w", c.opts.RetryAttempts, lastErr)
+}
+
+// CallBatch pipelines a batch of invocations over one connection —
+// one write, one flush, responses collected as they complete (in any
+// order). Retryable failures within the batch are retried
+// individually via Call. The returned slice matches calls by index.
+func (c *Client) CallBatch(ctx context.Context, calls []Invocation) []Reply {
+	replies := make([]Reply, len(calls))
+	if len(calls) == 0 {
+		return replies
+	}
+	cc, err := c.conn()
+	if err != nil {
+		for i := range replies {
+			replies[i].Err = err
+		}
+		return replies
+	}
+	// Window the batch by the server's in-flight bound so pipelining
+	// never trips the shed policy by construction.
+	window := cap(cc.sem)
+	for lo := 0; lo < len(calls); lo += window {
+		hi := lo + window
+		if hi > len(calls) {
+			hi = len(calls)
+		}
+		cc.sendWindow(ctx, calls[lo:hi], replies[lo:hi])
+	}
+	// Individually retry anything retryable (shed under competing
+	// load, contended, draining-then-restarted).
+	for i := range replies {
+		var re *wire.RemoteError
+		if replies[i].Err == nil || !errors.As(replies[i].Err, &re) || !re.Retryable() {
+			continue
+		}
+		replies[i].Result, replies[i].Err = c.Call(ctx, calls[i].Proc, calls[i].Args...)
+	}
+	return replies
+}
+
+// backoff sleeps before retry attempt n: jittered exponential from
+// RetryBase, capped at RetryMax, floored at the server's hint.
+func (c *Client) backoff(ctx context.Context, attempt int, cause error) error {
+	d := c.opts.RetryBase << (attempt - 1)
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	// Full jitter: uniform in [d/2, d).
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var re *wire.RemoteError
+	if errors.As(cause, &re) && re.Backoff > d {
+		d = re.Backoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) callOnce(ctx context.Context, procName string, args []storage.Value) (*Result, error) {
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	ch, id, err := cc.issue(ctx, procName, args, true)
+	if err != nil {
+		return nil, err
+	}
+	return cc.await(ctx, id, ch)
+}
+
+// conn picks the next pooled connection, dialing or replacing broken
+// ones lazily.
+func (c *Client) conn() (*clientConn, error) {
+	idx := int(c.next.Add(1)) % c.opts.Conns
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc := c.pool[idx]
+	if cc != nil && !cc.broken() {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the lock; only one winner installs.
+	fresh, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cerr := fresh.close(ErrClosed)
+		_ = cerr // racing Close already tears the pool down
+		return nil, ErrClosed
+	}
+	if cur := c.pool[idx]; cur != nil && !cur.broken() {
+		cerr := fresh.close(ErrClosed)
+		_ = cerr // lost the install race; the surviving conn is cur
+		return cur, nil
+	}
+	c.pool[idx] = fresh
+	return fresh, nil
+}
+
+// clientConn is one TCP connection: a writer guarded by wmu and a
+// reader goroutine that dispatches responses to waiting calls by
+// request id.
+//
+// The in-flight window (sem) counts requests the server has not yet
+// answered. A slot is acquired in issue and released the moment the
+// response arrives at the read loop (or the request is abandoned) —
+// NOT when the caller collects the result. Releasing on arrival
+// matters: concurrent batches issue whole windows before collecting,
+// so slots held until collection would deadlock once enough batches
+// share a connection.
+type clientConn struct {
+	nc net.Conn
+	bw *bufio.Writer
+
+	welcome wire.Welcome
+	sem     chan struct{} // unanswered-request window, sized from the handshake
+	done    chan struct{} // closed when the connection fails; unblocks acquirers
+
+	wmu sync.Mutex // serializes bw writes and flushes
+
+	mu      sync.Mutex
+	pending map[uint64]chan outcome
+	err     error // set once the connection is unusable
+
+	nextID atomic.Uint64
+}
+
+type outcome struct {
+	outs []wire.Output
+	err  error
+}
+
+func (c *Client) dialConn() (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	cc := &clientConn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan outcome),
+		done:    make(chan struct{}),
+	}
+	if err := cc.handshake(c.opts); err != nil {
+		cerr := nc.Close()
+		_ = cerr // handshake failure already reported; socket is dead
+		return nil, err
+	}
+	go cc.readLoop(c.opts.MaxFrame)
+	return cc, nil
+}
+
+// handshake sends hello and waits for the server's welcome (or a
+// version error), synchronously, before the reader starts.
+func (cc *clientConn) handshake(opts Options) error {
+	if err := cc.nc.SetDeadline(time.Now().Add(opts.DialTimeout)); err != nil {
+		return fmt.Errorf("client: handshake deadline: %w", err)
+	}
+	buf := wire.AppendHello(nil, wire.Hello{Client: opts.Name})
+	if _, err := cc.nc.Write(buf); err != nil {
+		return fmt.Errorf("client: sending hello: %w", err)
+	}
+	fr := wire.NewReader(cc.nc, opts.MaxFrame)
+	f, err := fr.Next()
+	if err != nil {
+		return fmt.Errorf("client: reading welcome: %w", err)
+	}
+	switch f.Op {
+	case wire.OpWelcome:
+	case wire.OpError:
+		re, derr := wire.DecodeError(f.Payload)
+		if derr != nil {
+			return fmt.Errorf("client: malformed handshake error: %w", derr)
+		}
+		return &re
+	default:
+		return fmt.Errorf("client: unexpected %s during handshake", wire.OpName(f.Op))
+	}
+	w, err := wire.DecodeWelcome(f.Payload)
+	if err != nil {
+		return fmt.Errorf("client: malformed welcome: %w", err)
+	}
+	if err := cc.nc.SetDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("client: clearing deadline: %w", err)
+	}
+	cc.welcome = w
+	window := int(w.MaxInFlight)
+	if window <= 0 {
+		window = 1
+	}
+	cc.sem = make(chan struct{}, window)
+	return nil
+}
+
+// issue reserves an in-flight slot, registers a waiter, and writes
+// one call frame; flush controls whether the buffer is pushed to the
+// wire immediately (single calls) or left for a batch flush.
+func (cc *clientConn) issue(ctx context.Context, procName string, args []storage.Value, flush bool) (chan outcome, uint64, error) {
+	select {
+	case cc.sem <- struct{}{}:
+	default:
+		// The window is full. Push any frames still sitting in the
+		// write buffer (ours or a sibling batch's) before blocking:
+		// a slot only frees when the server answers, and it cannot
+		// answer frames it has never been sent. Without this flush,
+		// concurrent batches on one connection can fill the window
+		// entirely with buffered frames and deadlock.
+		if err := cc.flushCalls(); err != nil {
+			return nil, 0, err
+		}
+		select {
+		case cc.sem <- struct{}{}:
+		case <-cc.done:
+			return nil, 0, cc.failure()
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+	id := cc.nextID.Add(1)
+	ch := make(chan outcome, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		<-cc.sem
+		return nil, 0, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	buf := wire.AppendCall(nil, id, wire.Call{Proc: procName, Args: args})
+	cc.wmu.Lock()
+	_, werr := cc.bw.Write(buf)
+	if werr == nil && flush {
+		werr = cc.bw.Flush()
+	}
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.abandon(id)
+		werr = fmt.Errorf("client: write: %w", werr)
+		cerr := cc.close(werr)
+		_ = cerr // the write error is the one worth reporting
+		return nil, 0, werr
+	}
+	return ch, id, nil
+}
+
+// flushCalls pushes buffered batch frames to the wire.
+func (cc *clientConn) flushCalls() error {
+	cc.wmu.Lock()
+	err := cc.bw.Flush()
+	cc.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("client: flush: %w", err)
+		cerr := cc.close(err)
+		_ = cerr // the flush error is the one worth reporting
+	}
+	return err
+}
+
+// await blocks until the response for id arrives or ctx ends. The
+// in-flight slot was already released when the response reached the
+// read loop (or by abandon here).
+func (cc *clientConn) await(ctx context.Context, id uint64, ch chan outcome) (*Result, error) {
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		return &Result{outs: out.outs}, nil
+	case <-ctx.Done():
+		cc.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+// sendWindow pipelines one window of batch calls: issue all (buffered),
+// one flush, then collect.
+func (cc *clientConn) sendWindow(ctx context.Context, calls []Invocation, replies []Reply) {
+	type slot struct {
+		ch chan outcome
+		id uint64
+	}
+	slots := make([]slot, len(calls))
+	issued := 0
+	for i, inv := range calls {
+		ch, id, err := cc.issue(ctx, inv.Proc, inv.Args, false)
+		if err != nil {
+			replies[i].Err = err
+			continue
+		}
+		slots[i] = slot{ch: ch, id: id}
+		issued++
+	}
+	if issued > 0 {
+		if err := cc.flushCalls(); err != nil {
+			// close already failed every pending waiter; fall through
+			// so collection below reports the connection error.
+			_ = err
+		}
+	}
+	for i := range calls {
+		if slots[i].ch == nil {
+			continue
+		}
+		replies[i].Result, replies[i].Err = cc.await(ctx, slots[i].id, slots[i].ch)
+	}
+}
+
+// abandon forgets a request whose caller stopped waiting and releases
+// its slot; a late response is dropped by the reader.
+func (cc *clientConn) abandon(id uint64) {
+	cc.mu.Lock()
+	_, had := cc.pending[id]
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+	if had {
+		<-cc.sem
+	}
+}
+
+// broken reports whether the connection has failed.
+func (cc *clientConn) broken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// failure returns the error the connection failed with.
+func (cc *clientConn) failure() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return errors.New("client: connection failed")
+}
+
+// close marks the connection failed with cause, fails every pending
+// call, unblocks window waiters, and closes the socket.
+func (cc *clientConn) close(cause error) error {
+	cc.mu.Lock()
+	first := cc.err == nil
+	if first {
+		cc.err = cause
+	}
+	pend := cc.pending
+	cc.pending = make(map[uint64]chan outcome)
+	cc.mu.Unlock()
+	if first {
+		close(cc.done)
+	}
+	for _, ch := range pend {
+		ch <- outcome{err: cause}
+	}
+	return cc.nc.Close()
+}
+
+// readLoop dispatches response frames to their waiters by request id
+// until the connection dies.
+func (cc *clientConn) readLoop(maxFrame int) {
+	fr := wire.NewReader(cc.nc, maxFrame)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			cerr := cc.close(fmt.Errorf("client: connection lost: %w", err))
+			_ = cerr // close-after-error: the read error is authoritative
+			return
+		}
+		var out outcome
+		switch f.Op {
+		case wire.OpResult:
+			outs, derr := wire.DecodeResult(f.Payload)
+			if derr != nil {
+				out.err = fmt.Errorf("client: malformed result: %w", derr)
+			} else {
+				out.outs = outs
+			}
+		case wire.OpError:
+			re, derr := wire.DecodeError(f.Payload)
+			if derr != nil {
+				out.err = fmt.Errorf("client: malformed error frame: %w", derr)
+			} else {
+				out.err = &re
+			}
+		default:
+			// Unknown frame for a known id is a protocol fault; for an
+			// unknown id it is dropped below like any late response.
+			out.err = fmt.Errorf("client: unexpected %s frame", wire.OpName(f.Op))
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.ID]
+		delete(cc.pending, f.ID)
+		cc.mu.Unlock()
+		if ok {
+			ch <- outcome{outs: out.outs, err: out.err}
+			// The request is answered: free its window slot now so
+			// batches still issuing can proceed before anyone
+			// collects this result. Abandoned requests released
+			// their slot in abandon (the pending entry was gone).
+			<-cc.sem
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thedb/internal/storage"
+	"thedb/internal/wire"
+)
+
+// fakeServer speaks just enough of the wire protocol to unit-test the
+// client: handshake, then a caller-supplied handler per CALL frame.
+// The handler returns the encoded response frame (nil = no response).
+type fakeServer struct {
+	t       *testing.T
+	l       net.Listener
+	handler func(f wire.Frame, c wire.Call) []byte
+	conns   atomic.Int64
+}
+
+func newFakeServer(t *testing.T, handler func(f wire.Frame, c wire.Call) []byte) *fakeServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	fs := &fakeServer{t: t, l: l, handler: handler}
+	go fs.acceptLoop()
+	t.Cleanup(func() {
+		if err := l.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Logf("fake server close: %v", err)
+		}
+	})
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.l.Addr().String() }
+
+func (fs *fakeServer) acceptLoop() {
+	for {
+		nc, err := fs.l.Accept()
+		if err != nil {
+			return
+		}
+		fs.conns.Add(1)
+		go fs.serve(nc)
+	}
+}
+
+func (fs *fakeServer) serve(nc net.Conn) {
+	defer func() {
+		if err := nc.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			fs.t.Logf("fake conn close: %v", err)
+		}
+	}()
+	fr := wire.NewReader(nc, wire.DefaultMaxFrame)
+	f, err := fr.Next()
+	if err != nil || f.Op != wire.OpHello {
+		return
+	}
+	if _, err := nc.Write(wire.AppendWelcome(nil, wire.Welcome{
+		MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 4, Server: "fake",
+	})); err != nil {
+		return
+	}
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return
+		}
+		c, err := wire.DecodeCall(f.Payload)
+		if err != nil {
+			return
+		}
+		if resp := fs.handler(f, c); resp != nil {
+			if _, err := nc.Write(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func resultFrame(id uint64, outs ...wire.Output) []byte {
+	return wire.AppendResult(nil, id, outs)
+}
+
+// TestRetryOnShed: the server sheds twice with a backoff hint, then
+// commits; Call must retry through both rejections and return the
+// final result.
+func TestRetryOnShed(t *testing.T) {
+	var calls atomic.Int64
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		if calls.Add(1) <= 2 {
+			return wire.AppendError(nil, f.ID, wire.RemoteError{
+				Code: wire.CodeShed, Backoff: time.Millisecond, Msg: "busy",
+			})
+		}
+		return resultFrame(f.ID, wire.Output{Name: "x", Vals: []storage.Value{storage.Int(99)}})
+	})
+	cl, err := Dial(fs.addr(), Options{RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	res, err := cl.Call(context.Background(), "P")
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if got := res.Val("x").Int(); got != 99 {
+		t.Fatalf("x = %d, want 99", got)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two shed + one commit)", got)
+	}
+}
+
+// TestRetriesExhausted: permanent shedding must eventually surface
+// the retryable error rather than spinning forever.
+func TestRetriesExhausted(t *testing.T) {
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		return wire.AppendError(nil, f.ID, wire.RemoteError{Code: wire.CodeShed, Msg: "always busy"})
+	})
+	cl, err := Dial(fs.addr(), Options{RetryAttempts: 2, RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, err = cl.Call(context.Background(), "P")
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeShed {
+		t.Fatalf("err = %v, want wrapped CodeShed", err)
+	}
+}
+
+// TestNonRetryableError: an abort must not be retried.
+func TestNonRetryableError(t *testing.T) {
+	var calls atomic.Int64
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		calls.Add(1)
+		return wire.AppendError(nil, f.ID, wire.RemoteError{Code: wire.CodeAbort, Msg: "no"})
+	})
+	cl, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, err = cl.Call(context.Background(), "P")
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeAbort {
+		t.Fatalf("err = %v, want CodeAbort", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on abort)", got)
+	}
+}
+
+// TestContextCancellation: a call parked on a silent server must
+// return promptly when its context is cancelled, and the client must
+// stay usable.
+func TestContextCancellation(t *testing.T) {
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		if c.Proc == "Hang" {
+			return nil // never answer
+		}
+		return resultFrame(f.ID)
+	})
+	cl, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Call(ctx, "Hang")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The abandoned slot must have been released: further calls work.
+	if _, err := cl.Call(context.Background(), "Quick"); err != nil {
+		t.Fatalf("call after cancellation: %v", err)
+	}
+}
+
+// TestCallBatchOutOfOrder: a batch pipelined over one flush must
+// match responses by id even when the server answers in reverse.
+func TestCallBatchOutOfOrder(t *testing.T) {
+	// Frame payloads alias the reader's buffer, so capture the decoded
+	// call (stable) rather than the frame.
+	type pendingCall struct {
+		id  uint64
+		arg storage.Value
+	}
+	var pending []pendingCall
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		pending = append(pending, pendingCall{f.ID, c.Args[0]}) // single conn: handler runs serially
+		if len(pending) < 3 {
+			return nil
+		}
+		// Answer in reverse arrival order, echoing the argument back.
+		var buf []byte
+		for i := len(pending) - 1; i >= 0; i-- {
+			buf = wire.AppendResult(buf, pending[i].id, []wire.Output{
+				{Name: "echo", Vals: []storage.Value{pending[i].arg}},
+			})
+		}
+		pending = nil
+		return buf
+	})
+	cl, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	batch := []Invocation{
+		{Proc: "Echo", Args: []storage.Value{storage.Int(10)}},
+		{Proc: "Echo", Args: []storage.Value{storage.Int(20)}},
+		{Proc: "Echo", Args: []storage.Value{storage.Int(30)}},
+	}
+	replies := cl.CallBatch(context.Background(), batch)
+	for i, r := range replies {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+		want := int64(10 * (i + 1))
+		if got := r.Result.Val("echo").Int(); got != want {
+			t.Fatalf("batch[%d] echo = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestReconnect: a connection killed server-side is replaced on the
+// next call.
+func TestReconnect(t *testing.T) {
+	var nth atomic.Int64
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		if nth.Add(1) == 1 {
+			return nil // go silent; we kill the conn below via listener close? No — use a poison response
+		}
+		return resultFrame(f.ID)
+	})
+	cl, err := Dial(fs.addr(), Options{RetryAttempts: -1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	// First call: server never answers; cancel it, then break the
+	// conn by dropping a garbage frame through it.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err = cl.Call(ctx, "Silent")
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Kill the underlying socket from the client side to simulate a
+	// dropped connection, then verify the pool self-heals.
+	cl.mu.Lock()
+	for _, cc := range cl.pool {
+		if cc != nil {
+			if err := cc.close(errors.New("simulated drop")); err != nil && !errors.Is(err, net.ErrClosed) {
+				t.Logf("drop: %v", err)
+			}
+		}
+	}
+	cl.mu.Unlock()
+	if _, err := cl.Call(context.Background(), "Back"); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+	if got := fs.conns.Load(); got < 2 {
+		t.Fatalf("server saw %d connections, want ≥ 2 (reconnect)", got)
+	}
+}

@@ -16,6 +16,11 @@
 //	-obs.addr A   serve live metrics on A (host:port): /metrics is the
 //	              Prometheus text format, /debug/pprof/ profiles the
 //	              run with per-worker labels
+//
+// With -addr the command instead benchmarks a remote thedb-server
+// over the wire protocol (pipelined YCSB mix; see the -net.* flags):
+//
+//	thedb-bench -addr 127.0.0.1:7707 -duration 2s -net.mix a
 package main
 
 import (
@@ -33,7 +38,32 @@ func main() {
 	duration := flag.Duration("duration", 400*time.Millisecond, "measured window per experiment cell")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port while experiments run")
+	addr := flag.String("addr", "", "benchmark a remote thedb-server at this address instead of running local experiments")
+	netClients := flag.Int("net.clients", 8, "client goroutines for -addr mode")
+	netConns := flag.Int("net.conns", 4, "pooled connections for -addr mode")
+	netPipeline := flag.Int("net.pipeline", 32, "calls pipelined per batch in -addr mode")
+	netMix := flag.String("net.mix", "b", "YCSB mix for -addr mode: a, b, c or f")
+	netRecords := flag.Int("net.records", 100000, "remote YCSB table size (must match the server's -ycsb.records)")
+	netTheta := flag.Float64("net.theta", 0.8, "zipfian skew for -addr mode")
 	flag.Parse()
+
+	if *addr != "" {
+		err := netBench(netOpts{
+			addr:     *addr,
+			clients:  *netClients,
+			conns:    *netConns,
+			pipeline: *netPipeline,
+			mix:      *netMix,
+			records:  *netRecords,
+			theta:    *netTheta,
+			duration: *duration,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thedb/client"
+	"thedb/internal/wire"
+	"thedb/internal/workload/ycsb"
+)
+
+// netOpts carries the -net.* flag values for a remote benchmark run.
+type netOpts struct {
+	addr     string
+	clients  int
+	conns    int
+	pipeline int
+	mix      string
+	records  int
+	theta    float64
+	duration time.Duration
+}
+
+// netBench drives a YCSB mix against a remote thedb-server over the
+// wire protocol: each client goroutine pipelines batches of calls and
+// the report separates commits from aborts, sheds and failures —
+// shed/contended work is retried by the client library, so a shed
+// under this load shows up as latency, not as an error.
+func netBench(o netOpts) error {
+	mix, ok := map[string]ycsb.Mix{
+		"a": ycsb.WorkloadA, "b": ycsb.WorkloadB, "c": ycsb.WorkloadC, "f": ycsb.WorkloadF,
+	}[o.mix]
+	if !ok {
+		return fmt.Errorf("unknown -net.mix %q (want a, b, c or f)", o.mix)
+	}
+	cl, err := client.Dial(o.addr, client.Options{Conns: o.conns})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cl.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "net bench: closing client:", cerr)
+		}
+	}()
+
+	var committed, aborted, failed atomic.Int64
+	var mu sync.Mutex
+	var latencies []time.Duration // per-batch round-trip, all clients
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := ycsb.NewGen(mix, o.records, o.theta, c)
+			local := make([]time.Duration, 0, 1024)
+			batch := make([]client.Invocation, o.pipeline)
+			for ctx.Err() == nil {
+				for i := range batch {
+					proc, args := gen.Next()
+					batch[i] = client.Invocation{Proc: proc, Args: args}
+				}
+				t0 := time.Now()
+				replies := cl.CallBatch(ctx, batch)
+				local = append(local, time.Since(t0))
+				for _, r := range replies {
+					switch {
+					case r.Err == nil:
+						committed.Add(1)
+					case errors.Is(r.Err, context.DeadlineExceeded), errors.Is(r.Err, context.Canceled):
+						// Clock ran out mid-batch; not a failure.
+					default:
+						var re *wire.RemoteError
+						if errors.As(r.Err, &re) && re.Code == wire.CodeAbort {
+							aborted.Add(1)
+						} else {
+							failed.Add(1)
+						}
+					}
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	tps := float64(committed.Load()) / wall.Seconds()
+	fmt.Printf("net bench: %s mix=%s clients=%d conns=%d pipeline=%d records=%d theta=%.2f\n",
+		o.addr, o.mix, o.clients, o.conns, o.pipeline, o.records, o.theta)
+	fmt.Printf("  committed %d (%.0f txn/s), aborted %d, failed %d in %v\n",
+		committed.Load(), tps, aborted.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			return latencies[int(p*float64(len(latencies)-1))]
+		}
+		fmt.Printf("  batch latency p50=%v p95=%v p99=%v (batch=%d calls)\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), o.pipeline)
+	}
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d calls failed", failed.Load())
+	}
+	return nil
+}

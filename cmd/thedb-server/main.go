@@ -1,0 +1,428 @@
+// Command thedb-server runs a THEDB instance behind the network
+// serving plane: stored procedures are invoked remotely over the wire
+// protocol (see DESIGN.md §12), with per-connection pipelining,
+// admission control and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	thedb-server [flags]
+//
+// Flags:
+//
+//	-addr A          listen address (default :7707)
+//	-workers N       engine sessions / dispatch goroutines (default 8)
+//	-workload W      kv | ycsb | smallbank (default kv)
+//	-wal.dir DIR     enable durability: one log file per worker in DIR
+//	-wal.salvage     on restart, salvage a crash-torn log's committed
+//	                 prefix instead of refusing to boot
+//	-log.mode M      value | command (default value)
+//	-obs.addr A      serve /metrics (incl. thedb_server_* counters),
+//	                 /debug/events and /debug/pprof on A
+//	-ycsb.records N  YCSB table size (default 100000)
+//	-sb.accounts N   Smallbank account count (default 10000)
+//
+// With -wal.dir the server is restartable: on boot it recovers the
+// previous generation — checkpoint.snap plus the worker logs — into a
+// fresh checkpoint, truncates the logs, and serves from the recovered
+// state, so every transaction acknowledged before a drain (or, with
+// -wal.salvage, before a crash) is visible after restart. Timestamps
+// stay monotone across generations because a commit's timestamp
+// always exceeds that of every record it touched.
+//
+// The kv workload registers three procedures over one ordered KV
+// table: KVGet(key) → found,val; KVPut(key,val) upsert; KVInc(key,
+// delta) → val. The shell's \connect mode speaks to them directly.
+//
+// Shutdown: on SIGINT/SIGTERM the server stops accepting, answers new
+// calls with the retryable draining error, finishes every admitted
+// transaction, flushes responses, seals the final epoch and syncs the
+// WAL, then exits 0. A second signal forces exit 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"thedb"
+	"thedb/internal/obs"
+	"thedb/internal/server"
+	"thedb/internal/workload/smallbank"
+	"thedb/internal/workload/ycsb"
+)
+
+func main() {
+	addr := flag.String("addr", ":7707", "listen address")
+	workers := flag.Int("workers", 8, "engine sessions / dispatch goroutines")
+	workload := flag.String("workload", "kv", "schema and procedures to serve: kv | ycsb | smallbank")
+	walDir := flag.String("wal.dir", "", "enable durability: one log file per worker in this directory")
+	walSalvage := flag.Bool("wal.salvage", false, "on restart, salvage a crash-torn log's committed prefix instead of refusing to boot")
+	logMode := flag.String("log.mode", "value", "WAL mode: value | command")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port")
+	ycsbRecords := flag.Int("ycsb.records", 100000, "YCSB table size")
+	sbAccounts := flag.Int("sb.accounts", 10000, "Smallbank account count")
+	flag.Parse()
+
+	cfg := thedb.Config{Protocol: thedb.Healing, Workers: *workers, EventBuffer: 256}
+	switch *logMode {
+	case "value":
+		cfg.LogMode = thedb.ValueLogging
+	case "command":
+		cfg.LogMode = thedb.CommandLogging
+	default:
+		fatalf("unknown -log.mode %q (want value or command)", *logMode)
+	}
+	var walFiles []*os.File
+	haveCheckpoint := false
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatalf("wal dir: %v", err)
+		}
+		// Fold the previous generation's logs into checkpoint.snap
+		// before this generation truncates them.
+		if err := recoverGeneration(*walDir, cfg, *workload, *ycsbRecords, *sbAccounts, *walSalvage); err != nil {
+			fatalf("recovering previous generation: %v", err)
+		}
+		if _, err := os.Stat(checkpointPath(*walDir)); err == nil {
+			haveCheckpoint = true
+		}
+		walFiles = make([]*os.File, *workers)
+		for i := range walFiles {
+			f, err := os.Create(filepath.Join(*walDir, fmt.Sprintf("worker-%d.wal", i)))
+			if err != nil {
+				fatalf("wal file: %v", err)
+			}
+			walFiles[i] = f
+		}
+		cfg.LogSink = func(i int) io.Writer { return walFiles[i] }
+	}
+
+	db, err := thedb.Open(cfg)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	setupSchema(db, *workload)
+	if haveCheckpoint {
+		// The checkpoint carries the whole recovered state, baseline
+		// population included — loading it replaces populating.
+		ck, err := os.Open(checkpointPath(*walDir))
+		if err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		err = db.LoadCheckpoint(ck)
+		cerr := ck.Close()
+		if err != nil {
+			fatalf("loading checkpoint: %v", err)
+		}
+		if cerr != nil {
+			fatalf("closing checkpoint: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "thedb-server: restored state from %s\n", checkpointPath(*walDir))
+	} else if err := populate(db, *workload, *ycsbRecords, *sbAccounts); err != nil {
+		fatalf("populating %s: %v", *workload, err)
+	}
+	db.Start()
+
+	srv := server.New(db, server.Config{})
+
+	if *obsAddr != "" {
+		plane := db.ObsPlane()
+		plane.SetServerStats(srv.Stats())
+		osrv, err := obs.StartServer(*obsAddr, plane.Handler())
+		if err != nil {
+			fatalf("obs: %v", err)
+		}
+		defer func() {
+			if err := osrv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "thedb-server: obs close:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "thedb-server: obs on http://%s/metrics\n", osrv.Addr())
+	}
+
+	// Drain on the first signal; force-quit on the second.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "thedb-server: %s workload on %s (%d workers)\n", *workload, *addr, *workers)
+		serveErr <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "thedb-server: %v: draining...\n", sig)
+	}
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "thedb-server: forced exit")
+		os.Exit(1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		fatalf("serve: %v", err)
+	}
+	for _, f := range walFiles {
+		if err := f.Close(); err != nil {
+			fatalf("closing wal: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "thedb-server: drained; WAL sealed and synced")
+}
+
+// setupSchema creates the tables and registers the procedure catalog
+// for the chosen workload (no data).
+func setupSchema(db *thedb.DB, name string) {
+	switch name {
+	case "kv":
+		registerKV(db)
+	case "ycsb":
+		db.MustCreateTable(ycsb.Schema())
+		for _, s := range ycsb.Specs() {
+			db.MustRegister(s)
+		}
+	case "smallbank":
+		for _, s := range smallbank.Schemas(0) {
+			db.MustCreateTable(s)
+		}
+		for _, s := range smallbank.Specs() {
+			db.MustRegister(s)
+		}
+	default:
+		fatalf("unknown workload %q (want kv, ycsb or smallbank)", name)
+	}
+}
+
+// populate loads the workload's baseline rows (first boot; later
+// boots restore them from the checkpoint instead).
+func populate(db *thedb.DB, name string, ycsbRecords, sbAccounts int) error {
+	switch name {
+	case "kv":
+		return nil
+	case "ycsb":
+		return ycsb.Populate(db.Catalog(), ycsbRecords, 8)
+	case "smallbank":
+		return smallbank.Populate(db.Catalog(), sbAccounts, 10000, 10000)
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+// checkpointPath is where a generation's recovered state is folded.
+func checkpointPath(walDir string) string {
+	return filepath.Join(walDir, "checkpoint.snap")
+}
+
+// recoverGeneration folds the previous server generation — the last
+// checkpoint plus whatever the worker logs recorded after it — into a
+// fresh checkpoint.snap, using a throwaway engine so the serving
+// database starts from a single consistent snapshot and a truncated
+// log. A no-op when the directory holds no logged transactions.
+//
+// Value entries replay under the Thomas write rule; command entries
+// re-execute through the throwaway engine (which is why it needs the
+// full procedure catalog). The new checkpoint is written to a temp
+// file, synced, and renamed, so a crash mid-recovery leaves the old
+// generation intact.
+func recoverGeneration(walDir string, cfg thedb.Config, workload string, ycsbRecords, sbAccounts int, salvage bool) error {
+	logPaths, err := filepath.Glob(filepath.Join(walDir, "worker-*.wal"))
+	if err != nil {
+		return err
+	}
+	var logs []*os.File
+	defer func() {
+		for _, f := range logs {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "thedb-server: closing recovered log:", cerr)
+			}
+		}
+	}()
+	for _, p := range logPaths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if st.Size() == 0 {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		logs = append(logs, f)
+	}
+	if len(logs) == 0 {
+		return nil // nothing logged since the checkpoint (or first boot)
+	}
+
+	rcfg := thedb.Config{Protocol: cfg.Protocol, Workers: 1, LogMode: cfg.LogMode}
+	rdb, err := thedb.Open(rcfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := rdb.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "thedb-server: closing recovery engine:", cerr)
+		}
+	}()
+	setupSchema(rdb, workload)
+	var checkpoint io.Reader
+	ckFile, err := os.Open(checkpointPath(walDir))
+	switch {
+	case err == nil:
+		defer func() {
+			if cerr := ckFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "thedb-server: closing checkpoint:", cerr)
+			}
+		}()
+		checkpoint = ckFile
+	case os.IsNotExist(err):
+		// First generation: the logs replay onto the baseline rows.
+		if err := populate(rdb, workload, ycsbRecords, sbAccounts); err != nil {
+			return err
+		}
+	default:
+		return err
+	}
+	streams := make([]io.Reader, len(logs))
+	for i, f := range logs {
+		streams[i] = f
+	}
+	rep, err := rdb.RecoverFromWith(checkpoint, streams, thedb.RecoverOptions{Salvage: salvage})
+	if err != nil {
+		return fmt.Errorf("%w (rerun with -wal.salvage to restore the committed prefix of a crashed log)", err)
+	}
+	if salvage && rep != nil {
+		for i := range rep.Damage {
+			fmt.Fprintln(os.Stderr, "thedb-server: salvage:", rep.Damage[i].Error())
+		}
+	}
+
+	tmp, err := os.CreateTemp(walDir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := rdb.Checkpoint(tmp); err != nil {
+		cerr := tmp.Close()
+		_ = cerr // the temp file is discarded; the checkpoint error wins
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(walDir)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "thedb-server: recovered %d log stream(s) into %s\n", len(logs), checkpointPath(walDir))
+	return nil
+}
+
+// registerKV installs the shell-friendly KV catalog: one ordered
+// int-valued table with get / upsert / increment procedures.
+func registerKV(db *thedb.DB) {
+	db.MustCreateTable(thedb.Schema{
+		Name:    "KV",
+		Columns: []thedb.ColumnDef{{Name: "v", Kind: thedb.KindInt}},
+		Ordered: true,
+	})
+	db.MustRegister(&thedb.Spec{
+		Name:   "KVGet",
+		Params: []string{"key"},
+		Plan: func(b *thedb.Builder, _ *thedb.Env) {
+			b.Op(thedb.Op{
+				Name:     "get",
+				KeyReads: []string{"key"},
+				Writes:   []string{"found", "val"},
+				Body: func(ctx thedb.OpCtx) error {
+					e := ctx.Env()
+					row, ok, err := ctx.Read("KV", thedb.Key(e.Int("key")), nil)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						e.SetInt("found", 0)
+						e.SetInt("val", 0)
+						return nil
+					}
+					e.SetInt("found", 1)
+					e.SetVal("val", row[0])
+					return nil
+				},
+			})
+		},
+	})
+	db.MustRegister(&thedb.Spec{
+		Name:   "KVPut",
+		Params: []string{"key", "val"},
+		Plan: func(b *thedb.Builder, _ *thedb.Env) {
+			b.Op(thedb.Op{
+				Name:     "upsert",
+				KeyReads: []string{"key"},
+				ValReads: []string{"val"},
+				Body: func(ctx thedb.OpCtx) error {
+					e := ctx.Env()
+					k := thedb.Key(e.Int("key"))
+					_, ok, err := ctx.Read("KV", k, nil)
+					if err != nil {
+						return err
+					}
+					if ok {
+						return ctx.Write("KV", k, []int{0}, []thedb.Value{e.Val("val")})
+					}
+					return ctx.Insert("KV", k, thedb.Tuple{e.Val("val")})
+				},
+			})
+		},
+	})
+	db.MustRegister(&thedb.Spec{
+		Name:   "KVInc",
+		Params: []string{"key", "delta"},
+		Plan: func(b *thedb.Builder, _ *thedb.Env) {
+			b.Op(thedb.Op{
+				Name:     "inc",
+				KeyReads: []string{"key"},
+				ValReads: []string{"delta"},
+				Writes:   []string{"val"},
+				Body: func(ctx thedb.OpCtx) error {
+					e := ctx.Env()
+					k := thedb.Key(e.Int("key"))
+					row, ok, err := ctx.Read("KV", k, nil)
+					if err != nil {
+						return err
+					}
+					cur := int64(0)
+					if ok {
+						cur = row[0].Int()
+					}
+					next := cur + e.Int("delta")
+					e.SetInt("val", next)
+					if ok {
+						return ctx.Write("KV", k, []int{0}, []thedb.Value{thedb.Int(next)})
+					}
+					return ctx.Insert("KV", k, thedb.Tuple{thedb.Int(next)})
+				},
+			})
+		},
+	})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "thedb-server: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,6 +14,9 @@
 //	stats                           (committed / restarts / heals)
 //	\metrics                        (live snapshot, Prometheus text format)
 //	\events                         (flight-recorder protocol event dump)
+//	\connect <host:port>            (remote mode: statements become
+//	                                 stored-procedure calls on a
+//	                                 thedb-server; \disconnect returns)
 //	tables
 //	help, quit
 //
@@ -31,14 +34,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"thedb"
+	"thedb/client"
 	"thedb/internal/obs"
+	"thedb/internal/storage"
 	"thedb/internal/workload/smallbank"
 )
 
@@ -90,6 +97,13 @@ func main() {
 			return
 		case line == "help":
 			usage()
+		case strings.HasPrefix(line, `\connect`):
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				fmt.Println(`usage: \connect <host:port>`)
+				continue
+			}
+			remoteShell(in, f[1])
 		case line == "tables":
 			for _, t := range db.Catalog().Tables() {
 				fmt.Printf("%s (%d records)\n", t.Schema().Name, t.Len())
@@ -204,6 +218,117 @@ func execOne(ctx thedb.OpCtx, f []string) ([]string, error) {
 	}
 }
 
+// remoteShell is network mode: statements run as stored-procedure
+// calls on a remote thedb-server (see \connect). get/set/inc map onto
+// the server's KV catalog; call invokes any registered procedure with
+// int-or-string arguments.
+func remoteShell(in *bufio.Scanner, addr string) {
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "thedb-shell: closing client:", err)
+		}
+	}()
+	fmt.Printf("connected to %s; remote statements run as stored procedures (\\disconnect to leave)\n", addr)
+	for {
+		fmt.Printf("thedb@%s> ", addr)
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		var (
+			proc string
+			args []storage.Value
+		)
+		switch f[0] {
+		case `\disconnect`:
+			return
+		case "quit", "exit":
+			// Leave remote mode only; the local shell keeps running.
+			return
+		case "help":
+			fmt.Print(`remote commands:
+  get <key>             KVGet
+  set <key> <value>     KVPut
+  inc <key> <delta>     KVInc
+  call <proc> <args>... any registered procedure (args: int or string)
+  \disconnect           back to the local shell
+`)
+			continue
+		case "get", "set", "inc":
+			proc = map[string]string{"get": "KVGet", "set": "KVPut", "inc": "KVInc"}[f[0]]
+			for _, a := range f[1:] {
+				n, err := strconv.ParseInt(a, 10, 64)
+				if err != nil {
+					fmt.Printf("error: %s takes integer arguments\n", f[0])
+					proc = ""
+					break
+				}
+				args = append(args, thedb.Int(n))
+			}
+			if proc == "" {
+				continue
+			}
+		case "call":
+			if len(f) < 2 {
+				fmt.Println("usage: call <proc> <args>...")
+				continue
+			}
+			proc = f[1]
+			for _, a := range f[2:] {
+				if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+					args = append(args, thedb.Int(n))
+				} else {
+					args = append(args, thedb.Str(a))
+				}
+			}
+		default:
+			fmt.Printf("unknown remote statement %q (try 'help')\n", f[0])
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		res, err := cl.Call(ctx, proc, args...)
+		cancel()
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		names := res.Names()
+		if len(names) == 0 {
+			fmt.Println("ok")
+			continue
+		}
+		for _, n := range names {
+			if vs := res.Vals(n); len(vs) > 1 {
+				fmt.Printf("%s = %v\n", n, vs)
+			} else {
+				fmt.Printf("%s = %s\n", n, formatValue(res.Val(n)))
+			}
+		}
+	}
+}
+
+func formatValue(v thedb.Value) string {
+	switch v.Kind() {
+	case thedb.KindInt:
+		return strconv.FormatInt(v.Int(), 10)
+	case thedb.KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case thedb.KindString:
+		return strconv.Quote(v.Str())
+	default:
+		return "null"
+	}
+}
+
 func makeTuple(width, col int, v int64) thedb.Tuple {
 	t := make(thedb.Tuple, width)
 	if col < width {
@@ -226,6 +351,7 @@ func usage() {
   tables | stats | help | quit
   \metrics   live snapshot in Prometheus text format
   \events    flight-recorder protocol event dump
+  \connect <host:port>   switch to a remote thedb-server (stored-procedure calls)
 `)
 }
 

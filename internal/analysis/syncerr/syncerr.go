@@ -14,7 +14,13 @@
 //     (thedb root or thedb/internal/wal), wherever the call appears —
 //     this catches `defer db.Close()` in examples and cmd binaries; or
 //   - the call appears inside thedb/internal/wal itself, whatever the
-//     receiver (os.File.Sync, bufio.Writer.Flush, ...).
+//     receiver (os.File.Sync, bufio.Writer.Flush, ...); or
+//   - the call appears inside the network serving plane
+//     (thedb/internal/server) and the receiver's method is declared by
+//     a transport package (net, bufio, crypto/tls). A dropped
+//     net.Conn.Close or bufio.Writer.Flush error there can silently
+//     discard response bytes the server already counted as delivered
+//     (DESIGN.md §12).
 package syncerr
 
 import (
@@ -40,6 +46,21 @@ var GuardPkgs = map[string]bool{
 // error is flagged regardless of the receiver's declaring package.
 var StrictPkgs = map[string]bool{
 	"thedb/internal/wal": true,
+}
+
+// NetPkgs are packages where discarding a Close/Flush error on a
+// transport type (see netDeclaring) is flagged: the serving plane
+// promises that a response counted as sent was actually flushed to
+// the socket, and the only evidence of a broken promise is the error.
+var NetPkgs = map[string]bool{
+	"thedb/internal/server": true,
+}
+
+// netDeclaring are the packages whose Close/Flush methods carry that
+// delivery evidence: net.Conn implementations, bufio writers, and TLS
+// wrappers.
+var netDeclaring = map[string]bool{
+	"net": true, "bufio": true, "crypto/tls": true,
 }
 
 // Analyzer is the syncerr pass.
@@ -84,7 +105,8 @@ func run(pass *ana.Pass) error {
 			if fn.Pkg() != nil {
 				declaring = fn.Pkg().Path()
 			}
-			if !strict && !GuardPkgs[declaring] {
+			netGuard := NetPkgs[pass.Pkg.Path()] && netDeclaring[declaring]
+			if !strict && !GuardPkgs[declaring] && !netGuard {
 				return true
 			}
 			pass.Reportf(call.Pos(), "error from %s discarded: a dropped sync/close error silently forfeits the durability contract; check it (or annotate with //thedb:nolint:syncerr)", fn.Name())

@@ -1,0 +1,55 @@
+// Fixture mirror of the serving plane: Close/Flush methods declared
+// by transport packages (net, bufio, crypto/tls) are guarded here —
+// a dropped error can silently discard response bytes the server
+// already counted as delivered — while locally-declared methods stay
+// unguarded.
+package server
+
+import (
+	"bufio"
+	"net"
+)
+
+func dropConnClose(nc net.Conn) {
+	nc.Close() // want `error from Close discarded`
+}
+
+func dropConnCloseDeferred(nc net.Conn) {
+	defer nc.Close() // want `error from Close discarded`
+}
+
+func dropFlush(bw *bufio.Writer) {
+	bw.Flush() // want `error from Flush discarded`
+}
+
+func dropFlushBlank(bw *bufio.Writer) {
+	_ = bw.Flush() // want `error from Flush discarded`
+}
+
+// wrapped embeds a net.Conn: the promoted Close is still declared by
+// package net, so dropping its error is flagged too.
+type wrapped struct {
+	net.Conn
+}
+
+func dropWrappedClose(w wrapped) {
+	w.Close() // want `error from Close discarded`
+}
+
+// shedder is a locally-declared type: its Close carries no transport
+// evidence, so dropping it is allowed here (true negative).
+type shedder struct{}
+
+func (shedder) Close() error { return nil }
+
+func dropLocalClose(s shedder) {
+	s.Close()
+}
+
+// checked handles every transport error: true negatives.
+func checked(nc net.Conn, bw *bufio.Writer) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return nc.Close()
+}

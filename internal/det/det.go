@@ -88,6 +88,12 @@ func (e *Engine) MustRegister(p *Proc) {
 	}
 }
 
+// Has reports whether a procedure is registered under name.
+func (e *Engine) Has(name string) bool {
+	_, ok := e.specs[name]
+	return ok
+}
+
 // Partitions returns the partition count.
 func (e *Engine) Partitions() int { return len(e.partitions) }
 

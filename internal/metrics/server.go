@@ -1,0 +1,69 @@
+package metrics
+
+import "sync/atomic"
+
+// Server collects the network serving plane's counters. Like Worker,
+// the int64 fields are written with atomic adds by the serving
+// goroutines and may be read atomically mid-run (use Snapshot); a
+// single Server instance is shared by all connections of one server.
+type Server struct {
+	// ConnsOpened / ConnsClosed count accepted and torn-down
+	// connections; their difference is the currently-open gauge.
+	ConnsOpened int64
+	ConnsClosed int64
+
+	// Requests counts admitted procedure invocations (shed requests
+	// are not included).
+	Requests int64
+
+	// InFlight is the gauge of admitted-but-unanswered requests
+	// across all connections.
+	InFlight int64
+
+	// Shed counts admission-control rejections: requests turned away
+	// with a retryable contended/shed error because a per-connection
+	// or global in-flight bound was hit. Shedding is visible by
+	// design — never a silent drop.
+	Shed int64
+
+	// DrainRejected counts requests refused with the draining error
+	// during graceful shutdown.
+	DrainRejected int64
+
+	// BadFrames counts protocol-violating frames (malformed payloads,
+	// unexpected opcodes) answered with a bad-request error.
+	BadFrames int64
+
+	// BytesIn / BytesOut count raw connection bytes, frames included.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Inc atomically adds 1 to a counter field of this collector; Add
+// adds n. Callers pass a pointer to one of the exported fields,
+// mirroring the Worker collector's idiom.
+func (s *Server) Inc(field *int64) { atomic.AddInt64(field, 1) }
+
+// Add atomically adds n to a counter field of this collector.
+func (s *Server) Add(field *int64, n int64) { atomic.AddInt64(field, n) }
+
+// Connections returns the currently-open connection gauge.
+func (s *Server) Connections() int64 {
+	return atomic.LoadInt64(&s.ConnsOpened) - atomic.LoadInt64(&s.ConnsClosed)
+}
+
+// Snapshot returns an atomically-read copy, safe to take while the
+// server keeps serving.
+func (s *Server) Snapshot() Server {
+	var c Server
+	c.ConnsOpened = atomic.LoadInt64(&s.ConnsOpened)
+	c.ConnsClosed = atomic.LoadInt64(&s.ConnsClosed)
+	c.Requests = atomic.LoadInt64(&s.Requests)
+	c.InFlight = atomic.LoadInt64(&s.InFlight)
+	c.Shed = atomic.LoadInt64(&s.Shed)
+	c.DrainRejected = atomic.LoadInt64(&s.DrainRejected)
+	c.BadFrames = atomic.LoadInt64(&s.BadFrames)
+	c.BytesIn = atomic.LoadInt64(&s.BytesIn)
+	c.BytesOut = atomic.LoadInt64(&s.BytesOut)
+	return c
+}

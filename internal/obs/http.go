@@ -22,6 +22,7 @@ type Plane struct {
 	src       atomic.Pointer[source]
 	rec       atomic.Pointer[Recorder]
 	tableName atomic.Pointer[func(int) string]
+	srvStats  atomic.Pointer[metrics.Server]
 }
 
 // source boxes the snapshot closure (atomic.Pointer needs a concrete
@@ -54,6 +55,13 @@ func (p *Plane) SetRecorder(rec *Recorder, tableName func(int) string) {
 	}
 }
 
+// SetServerStats attaches the network serving plane's counters (nil
+// detaches): /metrics then appends the thedb_server_* series to every
+// scrape.
+func (p *Plane) SetServerStats(s *metrics.Server) {
+	p.srvStats.Store(s)
+}
+
 // Handler returns the exposition mux:
 //
 //	/metrics       Prometheus text format of the live snapshot
@@ -69,6 +77,9 @@ func (p *Plane) Handler() http.Handler {
 			agg = s.live()
 		}
 		WriteProm(w, agg)
+		if s := p.srvStats.Load(); s != nil {
+			WritePromServer(w, s.Snapshot())
+		}
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 		rec := p.rec.Load()

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
@@ -266,6 +268,62 @@ func TestWritePromFormat(t *testing.T) {
 	}
 	if _, ok := vals[`thedb_phase_seconds_total{phase="heal"}`]; !ok {
 		t.Errorf("missing heal phase series in:\n%s", sb.String())
+	}
+}
+
+func TestWritePromServerFormat(t *testing.T) {
+	s := &metrics.Server{}
+	s.Add(&s.ConnsOpened, 5)
+	s.Add(&s.ConnsClosed, 2)
+	s.Add(&s.Requests, 100)
+	s.Add(&s.InFlight, 7)
+	s.Add(&s.Shed, 3)
+	s.Inc(&s.DrainRejected)
+	s.Add(&s.BytesIn, 4096)
+	s.Add(&s.BytesOut, 8192)
+
+	var sb strings.Builder
+	WritePromServer(&sb, s.Snapshot())
+	vals := checkPromText(t, sb.String())
+	checks := map[string]float64{
+		"thedb_server_connections":            3,
+		"thedb_server_connections_total":      5,
+		"thedb_server_in_flight":              7,
+		"thedb_server_requests_total":         100,
+		"thedb_server_shed_total":             3,
+		"thedb_server_draining_rejects_total": 1,
+		"thedb_server_bytes_in_total":         4096,
+		"thedb_server_bytes_out_total":        8192,
+	}
+	for name, want := range checks {
+		if got, ok := vals[name]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+}
+
+func TestPlaneServesServerStats(t *testing.T) {
+	p := NewPlane()
+	s := &metrics.Server{}
+	s.Inc(&s.ConnsOpened)
+	p.SetServerStats(s)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vals := checkPromText(t, string(b))
+	if vals["thedb_server_connections"] != 1 {
+		t.Fatalf("thedb_server_connections = %v, want 1\n%s", vals["thedb_server_connections"], b)
+	}
+	if vals["thedb_up"] != 1 {
+		t.Fatal("thedb_up missing from combined scrape")
 	}
 }
 

@@ -65,6 +65,29 @@ func WriteProm(w io.Writer, a *metrics.Aggregate) {
 	writeLatencyHistogram(w, a)
 }
 
+// WritePromServer renders the network serving plane's counters in the
+// Prometheus text format. s is a Snapshot (plain loads are safe).
+// Emitted after the engine series when a Plane has server stats
+// attached, so one scrape covers engine and serving plane together.
+func WritePromServer(w io.Writer, s metrics.Server) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("thedb_server_connections", "Currently open client connections.", float64(s.ConnsOpened-s.ConnsClosed))
+	counter("thedb_server_connections_total", "Client connections accepted since start.", s.ConnsOpened)
+	gauge("thedb_server_in_flight", "Admitted requests not yet answered.", float64(s.InFlight))
+	counter("thedb_server_requests_total", "Procedure invocations admitted.", s.Requests)
+	counter("thedb_server_shed_total", "Requests shed by admission control (typed retryable errors, never silent drops).", s.Shed)
+	counter("thedb_server_draining_rejects_total", "Requests refused with the draining error during shutdown.", s.DrainRejected)
+	counter("thedb_server_bad_frames_total", "Protocol-violating frames answered with a bad-request error.", s.BadFrames)
+	counter("thedb_server_bytes_in_total", "Raw bytes read from client connections.", s.BytesIn)
+	counter("thedb_server_bytes_out_total", "Raw bytes written to client connections.", s.BytesOut)
+}
+
 // writeLatencyHistogram emits the committed-latency doubling buckets
 // as a Prometheus histogram in seconds.
 func writeLatencyHistogram(w io.Writer, a *metrics.Aggregate) {

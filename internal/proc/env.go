@@ -2,6 +2,7 @@ package proc
 
 import (
 	"fmt"
+	"sort"
 
 	"thedb/internal/storage"
 )
@@ -106,6 +107,21 @@ func (e *Env) Vals(name string) []storage.Value {
 
 // SetVals stores a slice of values.
 func (e *Env) SetVals(name string, v []storage.Value) { e.Set(name, v) }
+
+// Each calls fn for every defined variable in sorted name order — the
+// deterministic enumeration the network result encoding relies on. It
+// bypasses checked mode: enumeration happens after the transaction
+// has run, when the declared-access discipline no longer applies.
+func (e *Env) Each(fn func(name string, v any)) {
+	names := make([]string, 0, len(e.vals))
+	for k := range e.vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, e.vals[n])
+	}
+}
 
 // beginOp enters checked mode for one operation; endOp leaves it.
 // Arguments and already-defined variables outside the declared sets

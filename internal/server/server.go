@@ -1,0 +1,383 @@
+// Package server is THEDB's network serving plane: a net.Listener
+// based RPC server that dispatches the engine's stored-procedure
+// catalog to remote clients over the wire protocol.
+//
+// The design exploits the engine's transaction model: because every
+// transaction is a one-shot stored procedure whose dependency graph
+// is known up front (healing paper §3), a request frame carries
+// everything the engine needs and the server never holds a client
+// round-trip inside the critical section. Each engine session is
+// owned by exactly one dispatch goroutine; connections feed a bounded
+// global work queue and collect responses out of order by request id.
+//
+// Admission control is load shedding, not queueing: a request beyond
+// the per-connection or global in-flight bound is answered immediately
+// with a typed retryable error carrying a backoff hint (wire.CodeShed),
+// so overload degrades into client-side backoff instead of unbounded
+// server-side memory growth. Engine-level contention surfaces the
+// same way (wire.CodeContended, from the degradation ladder's
+// ErrContended).
+//
+// Shutdown drains: stop accepting, answer new calls with
+// wire.CodeDraining, finish every admitted transaction, flush every
+// response, then close the database — which seals the final epoch and
+// syncs the WAL — before returning.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thedb"
+	"thedb/internal/metrics"
+	"thedb/internal/proc"
+	"thedb/internal/storage"
+	"thedb/internal/wire"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// MaxFrame bounds accepted request-frame payloads (default
+	// wire.DefaultMaxFrame). Advertised to clients in the handshake.
+	MaxFrame int
+
+	// PerConnInFlight bounds admitted-but-unanswered requests per
+	// connection (default 64). Advertised in the handshake; requests
+	// beyond it are shed.
+	PerConnInFlight int
+
+	// GlobalInFlight bounds admitted requests across all connections
+	// (default 128 × workers). This is the work-queue capacity:
+	// requests beyond it are shed, never queued unboundedly.
+	GlobalInFlight int
+
+	// ReadTimeout, when positive, is the per-connection idle bound:
+	// a connection that sends nothing for this long is closed.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each network write (default 10s): a client
+	// that stops reading is disconnected rather than wedging a
+	// dispatch goroutine.
+	WriteTimeout time.Duration
+
+	// HandshakeTimeout bounds the wait for the client's hello
+	// (default 5s).
+	HandshakeTimeout time.Duration
+
+	// ContendedHint, ShedHint and DrainHint are the backoff hints
+	// attached to the three retryable error codes (defaults 2ms, 1ms,
+	// 10ms). Clients treat them as a floor for their own jittered
+	// backoff.
+	ContendedHint time.Duration
+	ShedHint      time.Duration
+	DrainHint     time.Duration
+
+	// Stats receives the serving plane's counters; New allocates one
+	// when nil. Share it with an obs.Plane via SetServerStats to get
+	// the thedb_server_* Prometheus series.
+	Stats *metrics.Server
+
+	// Banner names the server in the handshake (default "thedb").
+	Banner string
+}
+
+// request is one admitted procedure invocation traveling from a
+// connection's read loop to a dispatch goroutine.
+type request struct {
+	c    *conn
+	id   uint64
+	proc string
+	args []storage.Value
+}
+
+// Server serves a database's stored-procedure catalog over the wire
+// protocol.
+type Server struct {
+	db    *thedb.DB
+	cfg   Config
+	stats *metrics.Server
+
+	work chan *request
+	quit chan struct{}
+
+	// pending counts admitted, unanswered requests. It is an atomic
+	// counter rather than a WaitGroup because admission races drain:
+	// admit increments then re-checks the draining flag, Shutdown sets
+	// the flag then reads the counter, and seq-cst atomics guarantee
+	// one side sees the other (Dekker) — whereas WaitGroup.Add from a
+	// zero counter concurrent with Wait is documented misuse. finish
+	// pokes drainSig when the count returns to zero while draining.
+	pending  atomic.Int64
+	drainSig chan struct{}
+
+	connWG sync.WaitGroup // connection reader/writer goroutines
+
+	mu        sync.Mutex
+	conns     map[*conn]struct{}
+	listeners map[net.Listener]struct{}
+
+	draining    atomic.Bool
+	dispatchers sync.Once
+	quitOnce    sync.Once
+}
+
+// New builds a server over db. The database must have its tables
+// created, procedures registered and Start called before Serve;
+// Shutdown closes it (sealing the epoch and syncing the WAL).
+func New(db *thedb.DB, cfg Config) *Server {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.PerConnInFlight <= 0 {
+		cfg.PerConnInFlight = 64
+	}
+	if cfg.GlobalInFlight <= 0 {
+		cfg.GlobalInFlight = 128 * db.Workers()
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.ContendedHint <= 0 {
+		cfg.ContendedHint = 2 * time.Millisecond
+	}
+	if cfg.ShedHint <= 0 {
+		cfg.ShedHint = time.Millisecond
+	}
+	if cfg.DrainHint <= 0 {
+		cfg.DrainHint = 10 * time.Millisecond
+	}
+	if cfg.Banner == "" {
+		cfg.Banner = "thedb"
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &metrics.Server{}
+	}
+	return &Server{
+		db:        db,
+		cfg:       cfg,
+		stats:     cfg.Stats,
+		work:      make(chan *request, cfg.GlobalInFlight),
+		quit:      make(chan struct{}),
+		drainSig:  make(chan struct{}, 1),
+		conns:     map[*conn]struct{}{},
+		listeners: map[net.Listener]struct{}{},
+	}
+}
+
+// Stats returns the serving plane's counters (live; read with
+// Snapshot).
+func (s *Server) Stats() *metrics.Server { return s.stats }
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a free
+// port) and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until Shutdown (or a listener
+// error). It blocks; run it in a goroutine to serve several
+// listeners. A nil return means the listener was closed by Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.startDispatchers()
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		lerr := l.Close()
+		_ = lerr // the listener never served; nothing durable rides on it
+		return errors.New("server: already shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.startConn(nc)
+	}
+}
+
+// startDispatchers launches one dispatch goroutine per engine
+// session: session i is driven only by goroutine i, satisfying the
+// one-goroutine-per-session contract.
+func (s *Server) startDispatchers() {
+	s.dispatchers.Do(func() {
+		for i := 0; i < s.db.Workers(); i++ {
+			sess := s.db.Session(i)
+			go s.dispatch(sess)
+		}
+	})
+}
+
+// dispatch serves queued requests on one engine session until quit.
+func (s *Server) dispatch(sess *thedb.Session) {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case req := <-s.work:
+			s.serveOne(sess, req)
+		}
+	}
+}
+
+// serveOne runs one admitted request to completion and enqueues its
+// response frame.
+func (s *Server) serveOne(sess *thedb.Session, req *request) {
+	env, err := sess.Run(req.proc, req.args...)
+	var buf []byte
+	if err != nil {
+		buf = wire.AppendError(nil, req.id, s.mapError(err))
+	} else {
+		buf = wire.AppendResult(nil, req.id, outputsOf(env))
+	}
+	req.c.send(buf)
+	s.finish(req)
+}
+
+// finish releases an admitted request's accounting after its response
+// (or rejection) has been enqueued.
+func (s *Server) finish(req *request) {
+	s.stats.Add(&s.stats.InFlight, -1)
+	req.c.inflight.Add(-1)
+	req.c.reqs.Done()
+	if s.pending.Add(-1) == 0 && s.draining.Load() {
+		select {
+		case s.drainSig <- struct{}{}:
+		default: // a wakeup is already queued
+		}
+	}
+}
+
+// mapError classifies an engine failure into a wire error. Every
+// retryable condition carries a backoff hint; nothing is dropped
+// silently.
+func (s *Server) mapError(err error) wire.RemoteError {
+	switch {
+	case errors.Is(err, thedb.ErrContended):
+		return wire.RemoteError{Code: wire.CodeContended, Backoff: s.cfg.ContendedHint, Msg: err.Error()}
+	case errors.Is(err, thedb.ErrNoSuchProc):
+		return wire.RemoteError{Code: wire.CodeUnknownProc, Msg: err.Error()}
+	}
+	var abort *proc.AbortError
+	if errors.As(err, &abort) {
+		return wire.RemoteError{Code: wire.CodeAbort, Msg: abort.Reason}
+	}
+	return wire.RemoteError{Code: wire.CodeInternal, Msg: err.Error()}
+}
+
+// outputsOf flattens a committed transaction's variable environment
+// into named wire outputs, in deterministic (sorted) order.
+func outputsOf(env *proc.Env) []wire.Output {
+	var outs []wire.Output
+	env.Each(func(name string, v any) {
+		switch val := v.(type) {
+		case storage.Value:
+			outs = append(outs, wire.Output{Name: name, Vals: []storage.Value{val}})
+		case []storage.Value:
+			outs = append(outs, wire.Output{Name: name, List: true, Vals: val})
+		}
+	})
+	return outs
+}
+
+// Shutdown drains the server: stop accepting, reject new calls with
+// the draining error, finish every admitted transaction and flush its
+// response, then close the database — sealing the final commit epoch
+// and syncing every WAL stream to stable storage. ctx bounds the
+// wait for in-flight transactions; on expiry remaining queued work is
+// answered with draining errors and connections are closed forcibly,
+// but the database is still closed cleanly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var errs []error
+	s.draining.Store(true)
+
+	s.mu.Lock()
+	for l := range s.listeners {
+		if err := l.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing listener: %w", err))
+		}
+		delete(s.listeners, l)
+	}
+	s.mu.Unlock()
+
+	// Wait for admitted transactions (ctx-bounded). finish pokes
+	// drainSig whenever the pending count returns to zero while
+	// draining, so a non-zero read here always has a wakeup coming.
+waiting:
+	for s.pending.Load() != 0 {
+		select {
+		case <-s.drainSig:
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("server: shutdown: %w while draining in-flight requests", ctx.Err()))
+			break waiting
+		}
+	}
+
+	// Stop the dispatchers, then answer anything left in the queue
+	// (only non-empty when ctx expired) with draining errors so no
+	// request vanishes silently and the per-connection accounting
+	// still balances.
+	s.quitOnce.Do(func() { close(s.quit) })
+	for {
+		select {
+		case req := <-s.work:
+			s.stats.Inc(&s.stats.DrainRejected)
+			req.c.send(wire.AppendError(nil, req.id, wire.RemoteError{
+				Code: wire.CodeDraining, Backoff: s.cfg.DrainHint, Msg: "server draining",
+			}))
+			s.finish(req)
+		default:
+			goto queueEmpty
+		}
+	}
+queueEmpty:
+
+	// Wake every connection's read loop; teardown then flushes
+	// pending responses and closes the socket.
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.wake()
+	}
+
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	select {
+	case <-connsDone:
+	case <-ctx.Done():
+		// Force: kill the sockets; writers error out and drain.
+		for _, c := range conns {
+			c.fail()
+		}
+		<-connsDone
+	}
+
+	if err := s.db.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("server: closing database: %w", err))
+	}
+	return errors.Join(errs...)
+}

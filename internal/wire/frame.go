@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFrameTooLarge reports a frame whose length field exceeds the
+// reader's maximum. The connection is unrecoverable past this point
+// (the stream position is lost), so callers must close it.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrBadMagic reports a frame that does not start with Magic: the
+// peer is not speaking this protocol.
+var ErrBadMagic = errors.New("wire: bad frame magic")
+
+// ErrBadVersion reports a frame carrying an unsupported protocol
+// version.
+var ErrBadVersion = errors.New("wire: unsupported protocol version")
+
+// ErrTruncated reports a frame or payload cut short.
+var ErrTruncated = errors.New("wire: truncated")
+
+// AppendFrame appends one encoded frame to dst and returns the
+// extended slice. It is the single encoding path: every message
+// helper (AppendCall, AppendResult, ...) funnels through it.
+func AppendFrame(dst []byte, op uint8, id uint64, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = op
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes one frame from the front of b without copying:
+// the returned Frame's payload aliases b. n is the number of bytes
+// consumed. maxPayload bounds the accepted payload length (<= 0 means
+// DefaultMaxFrame); a length field beyond it fails with
+// ErrFrameTooLarge before anything is allocated or sliced.
+func DecodeFrame(b []byte, maxPayload int) (f Frame, n int, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFrame
+	}
+	if len(b) < HeaderSize {
+		return Frame{}, 0, fmt.Errorf("%w: frame header (%d of %d bytes)", ErrTruncated, len(b), HeaderSize)
+	}
+	if got := binary.LittleEndian.Uint16(b[0:2]); got != Magic {
+		return Frame{}, 0, fmt.Errorf("%w: %#04x", ErrBadMagic, got)
+	}
+	f.Version = b[2]
+	if f.Version != Version {
+		return Frame{}, 0, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, f.Version, Version)
+	}
+	f.Op = b[3]
+	f.ID = binary.LittleEndian.Uint64(b[4:12])
+	length := binary.LittleEndian.Uint32(b[12:16])
+	if uint64(length) > uint64(maxPayload) {
+		return Frame{}, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, maxPayload)
+	}
+	if uint64(len(b)-HeaderSize) < uint64(length) {
+		return Frame{}, 0, fmt.Errorf("%w: frame body (%d of %d bytes)", ErrTruncated, len(b)-HeaderSize, length)
+	}
+	f.Payload = b[HeaderSize : HeaderSize+int(length)]
+	return f, HeaderSize + int(length), nil
+}
+
+// Reader pulls frames off a byte stream. It owns a reusable payload
+// buffer: the returned Frame's payload is valid only until the next
+// call to Next.
+type Reader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader wraps r. maxPayload bounds accepted frame payloads
+// (<= 0 means DefaultMaxFrame); the buffer grows to the largest frame
+// actually seen, never to a hostile length field.
+func NewReader(r io.Reader, maxPayload int) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFrame
+	}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), max: maxPayload}
+}
+
+// Next reads one frame. io.EOF means the peer closed cleanly between
+// frames; a partial frame surfaces as io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	var f Frame
+	if got := binary.LittleEndian.Uint16(hdr[0:2]); got != Magic {
+		return Frame{}, fmt.Errorf("%w: %#04x", ErrBadMagic, got)
+	}
+	f.Version = hdr[2]
+	if f.Version != Version {
+		return Frame{}, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, f.Version, Version)
+	}
+	f.Op = hdr[3]
+	f.ID = binary.LittleEndian.Uint64(hdr[4:12])
+	length := binary.LittleEndian.Uint32(hdr[12:16])
+	if uint64(length) > uint64(r.max) {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, r.max)
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	r.buf = r.buf[:length]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	f.Payload = r.buf
+	return f, nil
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"thedb/internal/storage"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame and message
+// decoders. Invariants:
+//
+//  1. no input panics or drives an allocation past the frame limit
+//     (hostile length fields must fail before allocating);
+//  2. a successfully decoded frame re-encodes to exactly the consumed
+//     input prefix (frame-level identity);
+//  3. a successfully decoded message re-encodes and re-decodes to the
+//     same structure (message-level round trip — byte identity is not
+//     required because varints accept non-minimal encodings).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a frame at all"))
+	f.Add(AppendHello(nil, Hello{Client: "fuzz-client"}))
+	f.Add(AppendWelcome(nil, Welcome{MaxFrame: DefaultMaxFrame, MaxInFlight: 64, Server: "fuzz-server"}))
+	f.Add(AppendCall(nil, 7, Call{Proc: "YCSBRead", Args: []storage.Value{storage.Int(42)}}))
+	f.Add(AppendCall(nil, 8, Call{Proc: "Mixed", Args: []storage.Value{
+		storage.Null, storage.Int(-5), storage.Float(2.5), storage.Str("str"),
+	}}))
+	f.Add(AppendResult(nil, 9, []Output{
+		{Name: "v", Vals: []storage.Value{storage.Int(1)}},
+		{Name: "rows", List: true, Vals: []storage.Value{storage.Str("a"), storage.Str("b")}},
+	}))
+	f.Add(AppendError(nil, 10, RemoteError{Code: CodeShed, Backoff: time.Millisecond, Msg: "shed"}))
+	// Truncations and corruptions of a valid frame.
+	valid := AppendCall(nil, 11, Call{Proc: "P", Args: []storage.Value{storage.Str("x")}})
+	f.Add(valid[:HeaderSize])
+	f.Add(valid[:len(valid)-1])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[12] = 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, DefaultMaxFrame)
+		if err != nil {
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// Frame-level identity: canonical re-encoding reproduces the
+		// consumed prefix bit for bit (the header has no redundant
+		// representations and the payload is copied verbatim).
+		if re := AppendFrame(nil, fr.Op, fr.ID, fr.Payload); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encoded frame differs from input prefix:\n got %x\nwant %x", re, data[:n])
+		}
+		switch fr.Op {
+		case OpHello:
+			h, err := DecodeHello(fr.Payload)
+			if err != nil {
+				return
+			}
+			rt, _, err := DecodeFrame(AppendHello(nil, h), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("re-encoded hello fails to decode: %v", err)
+			}
+			if h2, err := DecodeHello(rt.Payload); err != nil || h2 != h {
+				t.Fatalf("hello round trip: %+v -> %+v (err %v)", h, h2, err)
+			}
+		case OpWelcome:
+			w, err := DecodeWelcome(fr.Payload)
+			if err != nil {
+				return
+			}
+			rt, _, err := DecodeFrame(AppendWelcome(nil, w), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("re-encoded welcome fails to decode: %v", err)
+			}
+			if w2, err := DecodeWelcome(rt.Payload); err != nil || w2 != w {
+				t.Fatalf("welcome round trip: %+v -> %+v (err %v)", w, w2, err)
+			}
+		case OpCall:
+			c, err := DecodeCall(fr.Payload)
+			if err != nil {
+				return
+			}
+			rt, _, err := DecodeFrame(AppendCall(nil, fr.ID, c), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("re-encoded call fails to decode: %v", err)
+			}
+			c2, err := DecodeCall(rt.Payload)
+			if err != nil {
+				t.Fatalf("call round trip decode: %v", err)
+			}
+			if c2.Proc != c.Proc || len(c2.Args) != len(c.Args) {
+				t.Fatalf("call round trip: %+v -> %+v", c, c2)
+			}
+			for i := range c.Args {
+				if c2.Args[i] != c.Args[i] {
+					t.Fatalf("call arg %d round trip: %v -> %v", i, c.Args[i], c2.Args[i])
+				}
+			}
+		case OpResult:
+			outs, err := DecodeResult(fr.Payload)
+			if err != nil {
+				return
+			}
+			rt, _, err := DecodeFrame(AppendResult(nil, fr.ID, outs), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("re-encoded result fails to decode: %v", err)
+			}
+			outs2, err := DecodeResult(rt.Payload)
+			if err != nil {
+				t.Fatalf("result round trip decode: %v", err)
+			}
+			if !reflect.DeepEqual(normalizeOutputs(outs2), normalizeOutputs(outs)) {
+				t.Fatalf("result round trip: %+v -> %+v", outs, outs2)
+			}
+		case OpError:
+			e, err := DecodeError(fr.Payload)
+			if err != nil {
+				return
+			}
+			rt, _, err := DecodeFrame(AppendError(nil, fr.ID, e), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("re-encoded error fails to decode: %v", err)
+			}
+			e2, err := DecodeError(rt.Payload)
+			if err != nil {
+				t.Fatalf("error round trip decode: %v", err)
+			}
+			// Sub-microsecond backoff precision is quantized by the
+			// encoding; decoded values are already whole microseconds.
+			if e2 != e {
+				t.Fatalf("error round trip: %+v -> %+v", e, e2)
+			}
+		}
+	})
+}
+
+// normalizeOutputs maps empty and nil Vals slices together: both
+// encode to a zero-length list.
+func normalizeOutputs(outs []Output) []Output {
+	n := make([]Output, len(outs))
+	for i, o := range outs {
+		if len(o.Vals) == 0 {
+			o.Vals = nil
+		}
+		n[i] = o
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+// Package wire defines THEDB's client/server protocol: a
+// length-prefixed binary framing layer plus the payload encodings for
+// procedure-invocation requests and their responses.
+//
+// The protocol exists because the engine's transaction model — one-shot
+// stored procedures whose dependency graphs are known up front (§3 of
+// the healing paper) — is exactly what a network server can dispatch
+// without holding client round-trips inside the critical section: a
+// request carries the full procedure name and argument vector, so the
+// server never waits on the client mid-transaction.
+//
+// # Framing
+//
+// Every message travels inside one frame:
+//
+//	offset 0  magic      uint16 LE (0x7DB1)
+//	offset 2  version    uint8    (protocol version, pinned by the handshake)
+//	offset 3  opcode     uint8
+//	offset 4  request id uint64 LE
+//	offset 12 length     uint32 LE (payload byte count)
+//	offset 16 payload    [length]byte
+//
+// Request ids are chosen by the client and echoed verbatim in the
+// matching response, which is what allows per-connection pipelining
+// with out-of-order completion: the server may answer request 7 before
+// request 3, and the client maps responses back by id. Id 0 is
+// reserved for the handshake pair.
+//
+// A length field above the reader's configured maximum is treated as a
+// protocol error, never as an allocation request.
+//
+// # Handshake
+//
+// The first frame on a connection must be OpHello from the client; the
+// server answers OpWelcome (carrying its frame-size and pipelining
+// limits) or OpError with CodeVersion and closes. Both directions pin
+// the version byte for the rest of the connection.
+//
+// # Errors and load shedding
+//
+// Failures travel as OpError payloads carrying a typed code, a
+// retryable flag, an optional server-suggested backoff hint, and a
+// message. Admission-control rejections (CodeShed, CodeDraining) and
+// retry-budget exhaustion inside the engine (CodeContended) are
+// retryable: a well-behaved client backs off — honoring the hint —
+// and retries, rather than treating shedding as failure.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Magic is the frame preamble; a connection that sends anything else
+// is not speaking this protocol.
+const Magic uint16 = 0x7DB1
+
+// Version is the protocol version this package speaks. The handshake
+// pins it: both sides reject frames carrying any other version.
+const Version uint8 = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 16
+
+// DefaultMaxFrame bounds a frame payload unless the transport
+// negotiates otherwise. Large enough for any realistic argument
+// vector or result set, small enough that a hostile length field
+// cannot balloon allocation.
+const DefaultMaxFrame = 1 << 20
+
+// Opcodes.
+const (
+	// OpHello opens a connection (client → server, request id 0).
+	OpHello uint8 = 1
+	// OpWelcome acknowledges the handshake (server → client, id 0).
+	OpWelcome uint8 = 2
+	// OpCall invokes a stored procedure.
+	OpCall uint8 = 3
+	// OpResult carries a successful invocation's outputs.
+	OpResult uint8 = 4
+	// OpError carries a typed failure for one request.
+	OpError uint8 = 5
+)
+
+// OpName names an opcode for diagnostics.
+func OpName(op uint8) string {
+	switch op {
+	case OpHello:
+		return "hello"
+	case OpWelcome:
+		return "welcome"
+	case OpCall:
+		return "call"
+	case OpResult:
+		return "result"
+	case OpError:
+		return "error"
+	default:
+		return fmt.Sprintf("op(%d)", op)
+	}
+}
+
+// Frame is one decoded protocol frame. Payload aliases the decode
+// buffer and is valid only until the next read on the same Reader.
+type Frame struct {
+	Version uint8
+	Op      uint8
+	ID      uint64
+	Payload []byte
+}
+
+// Error codes carried by OpError payloads.
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal uint8 = 1
+	// CodeBadRequest is a malformed or protocol-violating frame.
+	CodeBadRequest uint8 = 2
+	// CodeUnknownProc names an unregistered procedure.
+	CodeUnknownProc uint8 = 3
+	// CodeAbort is an application abort (thedb.UserAbort): the
+	// transaction ran and rolled back for business-logic reasons.
+	CodeAbort uint8 = 4
+	// CodeContended reports retry-budget exhaustion inside the
+	// engine's degradation ladder (thedb.ErrContended). Retryable.
+	CodeContended uint8 = 5
+	// CodeShed reports an admission-control rejection: the request
+	// was never admitted because a per-connection or global in-flight
+	// bound was hit. Retryable.
+	CodeShed uint8 = 6
+	// CodeDraining reports that the server is shutting down and no
+	// longer admits new transactions. Retryable (against a replica or
+	// after a restart).
+	CodeDraining uint8 = 7
+	// CodeVersion reports a protocol-version mismatch in the
+	// handshake.
+	CodeVersion uint8 = 8
+)
+
+// CodeName names an error code.
+func CodeName(c uint8) string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeUnknownProc:
+		return "unknown-procedure"
+	case CodeAbort:
+		return "abort"
+	case CodeContended:
+		return "contended"
+	case CodeShed:
+		return "shed"
+	case CodeDraining:
+		return "draining"
+	case CodeVersion:
+		return "version-mismatch"
+	default:
+		return fmt.Sprintf("code(%d)", c)
+	}
+}
+
+// Retryable reports whether an error code marks a transient condition
+// the client should back off and retry.
+func Retryable(c uint8) bool {
+	return c == CodeContended || c == CodeShed || c == CodeDraining
+}
+
+// RemoteError is a server-reported failure decoded from an OpError
+// payload. It is the error type the client package surfaces: shed
+// requests arrive as typed contended/shed errors with backoff hints,
+// never as silent drops.
+type RemoteError struct {
+	// Code is one of the Code constants.
+	Code uint8
+	// Backoff is the server's suggested wait before retrying (zero
+	// when the server offers no hint). Only meaningful when
+	// Retryable() is true.
+	Backoff time.Duration
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Error formats the failure.
+func (e *RemoteError) Error() string {
+	if e.Backoff > 0 {
+		return fmt.Sprintf("thedb: remote %s: %s (retry after %v)", CodeName(e.Code), e.Msg, e.Backoff)
+	}
+	return fmt.Sprintf("thedb: remote %s: %s", CodeName(e.Code), e.Msg)
+}
+
+// Retryable reports whether the client should back off and retry.
+func (e *RemoteError) Retryable() bool { return Retryable(e.Code) }

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"thedb/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frame")
+	b := AppendFrame(nil, OpCall, 42, payload)
+	if len(b) != HeaderSize+len(payload) {
+		t.Fatalf("encoded length = %d, want %d", len(b), HeaderSize+len(payload))
+	}
+	f, n, err := DecodeFrame(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d, want %d", n, len(b))
+	}
+	if f.Op != OpCall || f.ID != 42 || f.Version != Version || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("decoded frame = %+v", f)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	good := AppendFrame(nil, OpResult, 1, []byte("x"))
+
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: err = %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = Version + 1
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: err = %v", err)
+	}
+
+	// A length field past the limit must fail before allocating.
+	bad = append([]byte(nil), good...)
+	bad[12], bad[13], bad[14], bad[15] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize: err = %v", err)
+	}
+
+	if _, _, err := DecodeFrame(good[:HeaderSize-1], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: err = %v", err)
+	}
+	if _, _, err := DecodeFrame(good[:len(good)-1], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body: err = %v", err)
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	var b []byte
+	b = AppendFrame(b, OpCall, 1, []byte("one"))
+	b = AppendFrame(b, OpResult, 2, nil)
+	b = AppendFrame(b, OpError, 3, []byte("three"))
+
+	r := NewReader(bytes.NewReader(b), 0)
+	for i, want := range []struct {
+		op uint8
+		id uint64
+	}{{OpCall, 1}, {OpResult, 2}, {OpError, 3}} {
+		f, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Op != want.op || f.ID != want.id {
+			t.Fatalf("frame %d = %+v, want op=%d id=%d", i, f, want.op, want.id)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after stream: err = %v, want io.EOF", err)
+	}
+
+	// A partial trailing frame is a torn read, not a clean EOF.
+	r = NewReader(bytes.NewReader(b[:len(b)-2]), 0)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderEnforcesLimit(t *testing.T) {
+	big := AppendFrame(nil, OpCall, 1, make([]byte, 100))
+	r := NewReader(bytes.NewReader(big), 50)
+	if _, err := r.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	hb := AppendHello(nil, Hello{Client: "thedb-client/1"})
+	f, _, err := DecodeFrame(hb, 0)
+	if err != nil || f.Op != OpHello || f.ID != 0 {
+		t.Fatalf("hello frame = %+v, err = %v", f, err)
+	}
+	h, err := DecodeHello(f.Payload)
+	if err != nil || h.Client != "thedb-client/1" {
+		t.Fatalf("hello = %+v, err = %v", h, err)
+	}
+
+	wb := AppendWelcome(nil, Welcome{MaxFrame: 1 << 20, MaxInFlight: 64, Server: "thedb/1"})
+	f, _, err = DecodeFrame(wb, 0)
+	if err != nil || f.Op != OpWelcome {
+		t.Fatalf("welcome frame = %+v, err = %v", f, err)
+	}
+	w, err := DecodeWelcome(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxFrame != 1<<20 || w.MaxInFlight != 64 || w.Server != "thedb/1" {
+		t.Fatalf("welcome = %+v", w)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	calls := []Call{
+		{Proc: "YCSBRead", Args: []storage.Value{storage.Int(7)}},
+		{Proc: "P", Args: []storage.Value{
+			storage.Int(-1), storage.Float(3.25), storage.Str("s"), storage.Null,
+			storage.Float(math.Inf(-1)), storage.Int(math.MaxInt64), storage.Str(""),
+		}},
+		{Proc: "NoArgs"},
+	}
+	for _, c := range calls {
+		b := AppendCall(nil, 9, c)
+		f, _, err := DecodeFrame(b, 0)
+		if err != nil || f.Op != OpCall || f.ID != 9 {
+			t.Fatalf("%q: frame = %+v, err = %v", c.Proc, f, err)
+		}
+		got, err := DecodeCall(f.Payload)
+		if err != nil {
+			t.Fatalf("%q: %v", c.Proc, err)
+		}
+		if got.Proc != c.Proc || len(got.Args) != len(c.Args) {
+			t.Fatalf("%q: decoded %+v", c.Proc, got)
+		}
+		for i := range c.Args {
+			if !got.Args[i].Equal(c.Args[i]) {
+				t.Fatalf("%q arg %d: got %v, want %v", c.Proc, i, got.Args[i], c.Args[i])
+			}
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	outs := []Output{
+		{Name: "balance", Vals: []storage.Value{storage.Int(1234)}},
+		{Name: "rows", List: true, Vals: []storage.Value{storage.Str("a"), storage.Str("b")}},
+		{Name: "empty", List: true},
+		{Name: "pi", Vals: []storage.Value{storage.Float(3.14159)}},
+	}
+	b := AppendResult(nil, 11, outs)
+	f, _, err := DecodeFrame(b, 0)
+	if err != nil || f.Op != OpResult || f.ID != 11 {
+		t.Fatalf("frame = %+v, err = %v", f, err)
+	}
+	got, err := DecodeResult(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, outs) {
+		t.Fatalf("decoded %+v, want %+v", got, outs)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	es := []RemoteError{
+		{Code: CodeContended, Backoff: 2 * time.Millisecond, Msg: "retry budget spent"},
+		{Code: CodeShed, Backoff: 500 * time.Microsecond, Msg: "in-flight bound hit"},
+		{Code: CodeAbort, Msg: "insufficient funds"},
+		{Code: CodeDraining, Backoff: 10 * time.Millisecond, Msg: "server draining"},
+	}
+	for _, e := range es {
+		b := AppendError(nil, 13, e)
+		f, _, err := DecodeFrame(b, 0)
+		if err != nil || f.Op != OpError || f.ID != 13 {
+			t.Fatalf("frame = %+v, err = %v", f, err)
+		}
+		got, err := DecodeError(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("decoded %+v, want %+v", got, e)
+		}
+		wantRetry := e.Code == CodeContended || e.Code == CodeShed || e.Code == CodeDraining
+		if got.Retryable() != wantRetry {
+			t.Fatalf("%s: Retryable = %v, want %v", CodeName(e.Code), got.Retryable(), wantRetry)
+		}
+	}
+}
+
+func TestDecodeCallRejectsHostileCounts(t *testing.T) {
+	// A declared argument count far beyond the payload must fail
+	// without allocating a huge slice.
+	p := appendString(nil, "P")
+	p = append(p, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01) // uvarint ~1<<63
+	if _, err := DecodeCall(p); err == nil {
+		t.Fatal("hostile argc decoded successfully")
+	}
+
+	// A string length beyond the payload must fail too.
+	p = []byte{0xff, 0xff, 0x03} // name length 65535, no body
+	if _, err := DecodeCall(p); err == nil {
+		t.Fatal("hostile string length decoded successfully")
+	}
+}

@@ -102,6 +102,17 @@ const (
 	KindString = storage.KindString
 )
 
+// Typed engine failures, re-exported for callers (and the network
+// serving plane) to classify with errors.Is.
+var (
+	// ErrContended reports that a transaction spent its retry budget
+	// on every rung of the contention degradation ladder. Retryable
+	// after backoff.
+	ErrContended = core.ErrContended
+	// ErrNoSuchProc reports an unregistered procedure name.
+	ErrNoSuchProc = core.ErrNoSuchProc
+)
+
 // Protocol selects the concurrency-control mechanism.
 type Protocol int
 
@@ -389,6 +400,22 @@ func (db *DB) Session(i int) *Session {
 	return &Session{w: db.eng.Worker(i)}
 }
 
+// Workers returns the configured session count: valid session indexes
+// are [0, Workers).
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// HasProcedure reports whether a stored procedure is registered under
+// name. The network server consults it to reject unknown procedures
+// before burning a transaction attempt.
+func (db *DB) HasProcedure(name string) bool {
+	db.ensureEngines()
+	if db.deng != nil {
+		return db.deng.Has(name)
+	}
+	_, ok := db.eng.Spec(name)
+	return ok
+}
+
 // Metrics aggregates all sessions' counters over the given wall-clock
 // duration.
 func (db *DB) Metrics(wall time.Duration) *metrics.Aggregate {
@@ -441,16 +468,24 @@ func (db *DB) tableName(id int) string {
 	return fmt.Sprintf("table#%d", id)
 }
 
+// ObsPlane returns an observability plane wired to this database's
+// live metrics and flight recorder. Callers can attach further
+// sources (e.g. the network server's counters via SetServerStats)
+// before serving plane.Handler().
+func (db *DB) ObsPlane() *obs.Plane {
+	db.ensureEngines()
+	p := obs.NewPlane()
+	p.SetSource(db.LiveMetrics)
+	p.SetRecorder(db.rec, db.tableName)
+	return p
+}
+
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text format of LiveMetrics), /debug/events (flight
 // recorder dump, 404 when EventBuffer is 0) and /debug/pprof/. Mount
 // it on any mux or serve it with obs.StartServer.
 func (db *DB) ObsHandler() http.Handler {
-	db.ensureEngines()
-	p := obs.NewPlane()
-	p.SetSource(db.LiveMetrics)
-	p.SetRecorder(db.rec, db.tableName)
-	return p.Handler()
+	return db.ObsPlane().Handler()
 }
 
 // ResetMetrics clears all sessions' counters.
