@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke
+.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke recovery-torture restart-smoke bench-restart
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,56 @@ net-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "net-smoke: server did not drain cleanly"; exit 1; }; \
 	echo "net-smoke: pipelined bench over loopback ok, counters exported, clean drain"
+
+# recovery-torture is the model-vs-real crash-recovery sweep (DESIGN.md
+# §13.5): 64 seeded lives, each crashing at a byte-budget instant mid
+# WAL write or at one of the checkpoint writer's fault points
+# (mid-write, pre-rename, post-rename, mid-truncate), then recovering
+# from checkpoint + WAL tail and diffing the database against the
+# sequential model. Always under -race; -short trims to 8 seeds.
+recovery-torture:
+	$(GO) test -race -run 'RecoveryTorture' .
+
+# restart-smoke is the end-to-end instant-restart check: boot a durable
+# YCSB server (the 100k-row populate is 100k committed transactions),
+# let the online checkpointer publish, kill -9 mid-flight, restart with
+# salvage against the same WAL directory, and require the recovery
+# report to show a checkpoint restore plus tail-only replay.
+SMOKE_ADDR ?= 127.0.0.1:17717
+SMOKE_WAL ?= /tmp/thedb-restart-smoke
+restart-smoke:
+	$(GO) build -o /tmp/thedb-server ./cmd/thedb-server
+	rm -rf $(SMOKE_WAL)
+	/tmp/thedb-server -addr $(SMOKE_ADDR) -workers 4 -workload ycsb \
+		-wal.dir $(SMOKE_WAL) -checkpoint.every 2s 2>/tmp/thedb-smoke1.log & \
+	pid=$$!; \
+	ok=; \
+	for i in $$(seq 1 60); do \
+		if ls $(SMOKE_WAL)/checkpoint-*.ckpt >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	test -n "$$ok" || { echo "restart-smoke: no checkpoint published"; kill -9 $$pid 2>/dev/null; cat /tmp/thedb-smoke1.log; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	/tmp/thedb-server -addr $(SMOKE_ADDR) -workers 4 -workload ycsb \
+		-wal.dir $(SMOKE_WAL) -wal.salvage -checkpoint.every 0 2>/tmp/thedb-smoke2.log & \
+	pid=$$!; \
+	ok=; \
+	for i in $$(seq 1 60); do \
+		if grep -q 'thedb-server: recovery' /tmp/thedb-smoke2.log; then ok=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	test -n "$$ok" || { echo "restart-smoke: no recovery report"; cat /tmp/thedb-smoke2.log; exit 1; }; \
+	grep 'thedb-server: recovery' /tmp/thedb-smoke2.log | grep -q '"checkpoint"' \
+		|| { echo "restart-smoke: restart did not load a checkpoint"; cat /tmp/thedb-smoke2.log; exit 1; }; \
+	echo "restart-smoke: crash restart restored checkpoint + WAL tail"; \
+	grep 'thedb-server: recovery' /tmp/thedb-smoke2.log
+
+# bench-restart regenerates BENCH_restart.json: restart wall time at
+# 10k/100k/1M committed transactions, with and without a fresh
+# checkpoint, demonstrating O(tail) restart (ISSUE 6 acceptance).
+bench-restart:
+	THEDB_BENCH_RESTART=1 $(GO) test -run 'BenchRestartSnapshot' -v -timeout 30m .
 
 # verify is the pre-merge gate: clean build, vet, and the full suite
 # under the race detector (the crash-torture and concurrency tests are

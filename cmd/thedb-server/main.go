@@ -9,25 +9,33 @@
 //
 // Flags:
 //
-//	-addr A          listen address (default :7707)
-//	-workers N       engine sessions / dispatch goroutines (default 8)
-//	-workload W      kv | ycsb | smallbank (default kv)
-//	-wal.dir DIR     enable durability: one log file per worker in DIR
-//	-wal.salvage     on restart, salvage a crash-torn log's committed
-//	                 prefix instead of refusing to boot
-//	-log.mode M      value | command (default value)
-//	-obs.addr A      serve /metrics (incl. thedb_server_* counters),
-//	                 /debug/events and /debug/pprof on A
-//	-ycsb.records N  YCSB table size (default 100000)
-//	-sb.accounts N   Smallbank account count (default 10000)
+//	-addr A             listen address (default :7707)
+//	-workers N          engine sessions / dispatch goroutines (default 8)
+//	-workload W         kv | ycsb | smallbank (default kv)
+//	-wal.dir DIR        enable durability: rotating WAL generations and
+//	                    checkpoint images in DIR
+//	-wal.salvage        on restart, salvage a crash-torn log's committed
+//	                    prefix instead of refusing to boot
+//	-log.mode M         value | command (default value)
+//	-checkpoint.every D online checkpoint cadence (default 30s; 0
+//	                    disables; value mode only)
+//	-obs.addr A         serve /metrics (incl. thedb_checkpoint_* and
+//	                    thedb_server_*), /debug/events, /debug/recovery
+//	                    and /debug/pprof on A
+//	-ycsb.records N     YCSB table size (default 100000)
+//	-sb.accounts N      Smallbank account count (default 10000)
 //
-// With -wal.dir the server is restartable: on boot it recovers the
-// previous generation — checkpoint.snap plus the worker logs — into a
-// fresh checkpoint, truncates the logs, and serves from the recovered
-// state, so every transaction acknowledged before a drain (or, with
-// -wal.salvage, before a crash) is visible after restart. Timestamps
-// stay monotone across generations because a commit's timestamp
-// always exceeds that of every record it touched.
+// With -wal.dir the server is restartable with instant-restart
+// semantics: boot loads the newest valid checkpoint image (falling
+// back to its predecessor if the newest is damaged) and replays only
+// the WAL tail — the commit groups above the checkpoint's watermark
+// epoch — so restart time tracks the tail, not the database's history.
+// While serving, a background checkpointer publishes fresh images
+// crash-atomically and deletes WAL generations the watermark covers.
+// Every transaction acknowledged before a drain (or, with
+// -wal.salvage, before a crash) is visible after restart. The boot
+// recovery report is printed as one JSON line on stderr and served at
+// /debug/recovery.
 //
 // The kv workload registers three procedures over one ordered KV
 // table: KVGet(key) → found,val; KVPut(key,val) upsert; KVInc(key,
@@ -36,17 +44,17 @@
 // Shutdown: on SIGINT/SIGTERM the server stops accepting, answers new
 // calls with the retryable draining error, finishes every admitted
 // transaction, flushes responses, seals the final epoch and syncs the
-// WAL, then exits 0. A second signal forces exit 1.
+// WAL, takes a final quiesced checkpoint, then exits 0. A second
+// signal forces exit 1.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
@@ -61,9 +69,10 @@ func main() {
 	addr := flag.String("addr", ":7707", "listen address")
 	workers := flag.Int("workers", 8, "engine sessions / dispatch goroutines")
 	workload := flag.String("workload", "kv", "schema and procedures to serve: kv | ycsb | smallbank")
-	walDir := flag.String("wal.dir", "", "enable durability: one log file per worker in this directory")
+	walDir := flag.String("wal.dir", "", "enable durability: rotating WAL generations and checkpoints in this directory")
 	walSalvage := flag.Bool("wal.salvage", false, "on restart, salvage a crash-torn log's committed prefix instead of refusing to boot")
 	logMode := flag.String("log.mode", "value", "WAL mode: value | command")
+	ckEvery := flag.Duration("checkpoint.every", 30*time.Second, "online checkpoint cadence (0 disables; value mode only)")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port")
 	ycsbRecords := flag.Int("ycsb.records", 100000, "YCSB table size")
 	sbAccounts := flag.Int("sb.accounts", 10000, "Smallbank account count")
@@ -78,29 +87,15 @@ func main() {
 	default:
 		fatalf("unknown -log.mode %q (want value or command)", *logMode)
 	}
-	var walFiles []*os.File
-	haveCheckpoint := false
+
+	var fs *thedb.WALSet
 	if *walDir != "" {
-		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+		var err error
+		fs, err = thedb.OpenWALSet(*walDir, *workers)
+		if err != nil {
 			fatalf("wal dir: %v", err)
 		}
-		// Fold the previous generation's logs into checkpoint.snap
-		// before this generation truncates them.
-		if err := recoverGeneration(*walDir, cfg, *workload, *ycsbRecords, *sbAccounts, *walSalvage); err != nil {
-			fatalf("recovering previous generation: %v", err)
-		}
-		if _, err := os.Stat(checkpointPath(*walDir)); err == nil {
-			haveCheckpoint = true
-		}
-		walFiles = make([]*os.File, *workers)
-		for i := range walFiles {
-			f, err := os.Create(filepath.Join(*walDir, fmt.Sprintf("worker-%d.wal", i)))
-			if err != nil {
-				fatalf("wal file: %v", err)
-			}
-			walFiles[i] = f
-		}
-		cfg.LogSink = func(i int) io.Writer { return walFiles[i] }
+		cfg.WALSet = fs
 	}
 
 	db, err := thedb.Open(cfg)
@@ -108,32 +103,42 @@ func main() {
 		fatalf("open: %v", err)
 	}
 	setupSchema(db, *workload)
-	if haveCheckpoint {
-		// The checkpoint carries the whole recovered state, baseline
-		// population included — loading it replaces populating.
-		ck, err := os.Open(checkpointPath(*walDir))
+
+	var report *thedb.BootReport
+	if fs != nil {
+		report, err = recover_(db, fs, *walDir, *walSalvage)
 		if err != nil {
-			fatalf("checkpoint: %v", err)
+			fatalf("recovery: %v", err)
 		}
-		err = db.LoadCheckpoint(ck)
-		cerr := ck.Close()
-		if err != nil {
-			fatalf("loading checkpoint: %v", err)
+		if report.CheckpointPath == "" && report.GroupsApplied == 0 && report.CommandsReplayed == 0 {
+			// Nothing on disk: first boot, load the baseline rows.
+			if err := populate(db, *workload, *ycsbRecords, *sbAccounts); err != nil {
+				fatalf("populating %s: %v", *workload, err)
+			}
 		}
-		if cerr != nil {
-			fatalf("closing checkpoint: %v", cerr)
-		}
-		fmt.Fprintf(os.Stderr, "thedb-server: restored state from %s\n", checkpointPath(*walDir))
+		line, _ := json.Marshal(report)
+		fmt.Fprintf(os.Stderr, "thedb-server: recovery %s\n", line)
 	} else if err := populate(db, *workload, *ycsbRecords, *sbAccounts); err != nil {
 		fatalf("populating %s: %v", *workload, err)
 	}
 	db.Start()
+
+	if fs != nil && *ckEvery > 0 {
+		if cfg.LogMode == thedb.CommandLogging {
+			fmt.Fprintln(os.Stderr, "thedb-server: online checkpoints need value logging; relying on the drain checkpoint only")
+		} else if err := db.CheckpointEvery(*walDir, *ckEvery); err != nil {
+			fatalf("checkpointer: %v", err)
+		}
+	}
 
 	srv := server.New(db, server.Config{})
 
 	if *obsAddr != "" {
 		plane := db.ObsPlane()
 		plane.SetServerStats(srv.Stats())
+		if report != nil {
+			plane.SetBootReport(report)
+		}
 		osrv, err := obs.StartServer(*obsAddr, plane.Handler())
 		if err != nil {
 			fatalf("obs: %v", err)
@@ -174,12 +179,97 @@ func main() {
 	if err := <-serveErr; err != nil {
 		fatalf("serve: %v", err)
 	}
-	for _, f := range walFiles {
-		if err := f.Close(); err != nil {
+	if err := db.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+	if fs != nil {
+		// Final quiesced checkpoint: the next boot replays (almost) no
+		// tail, making the restart instant regardless of this run's
+		// history.
+		if info, err := db.Checkpoint(*walDir); err != nil {
+			fmt.Fprintln(os.Stderr, "thedb-server: drain checkpoint:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "thedb-server: drain checkpoint %s (watermark epoch %d, %d rows)\n",
+				info.Path, info.Watermark, info.Rows)
+		}
+		if err := fs.Close(); err != nil {
 			fatalf("closing wal: %v", err)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "thedb-server: drained; WAL sealed and synced")
+}
+
+// recover_ restores the database from walDir: the newest valid
+// checkpoint image (if any) plus the WAL tail above its watermark.
+// It seeds the epoch past everything recovered, bounds the adopted
+// generations for later truncation, and fills the boot report and
+// restart metrics.
+func recover_(db *thedb.DB, fs *thedb.WALSet, walDir string, salvage bool) (*thedb.BootReport, error) {
+	start := time.Now()
+	report := &thedb.BootReport{Salvaged: salvage}
+
+	info, err := db.RestoreCheckpoint(walDir)
+	if err != nil {
+		return nil, err
+	}
+	var fromEpoch, seed uint32
+	if info != nil {
+		report.CheckpointPath = info.Path
+		report.CheckpointSeq = info.Seq
+		report.Watermark = info.Watermark
+		report.CheckpointRows = info.Rows
+		fromEpoch = info.Watermark
+		seed = max32(info.Watermark, info.MaxRowEpoch)
+	}
+
+	streams, closeAll, err := fs.BootStreams()
+	if err != nil {
+		return nil, err
+	}
+	report.Streams = len(streams)
+	rep, err := db.RecoverFromWith(nil, streams, thedb.RecoverOptions{
+		Salvage:   salvage,
+		FromEpoch: fromEpoch,
+	})
+	if cerr := closeAll(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if rep == nil {
+			return nil, fmt.Errorf("%w (rerun with -wal.salvage to restore the committed prefix of a crashed log)", err)
+		}
+		return nil, err
+	}
+	report.GroupsApplied = rep.AppliedGroups
+	report.GroupsSkipped = rep.SkippedGroups
+	report.GroupsDropped = rep.DroppedGroups
+	report.TornTails = rep.TornGroups
+	report.CommandsReplayed = len(rep.Commands)
+	report.DurableEpoch = rep.DurableEpoch
+	for i := range rep.Damage {
+		report.Damage = append(report.Damage, rep.Damage[i].Error())
+	}
+
+	seed = max32(seed, rep.MaxEpoch)
+	if seed > 0 {
+		db.SeedEpoch(seed + 1)
+		report.SeededEpoch = seed + 1
+	}
+	// The adopted generations' groups all sit at or below seed: a
+	// watermark of seed or higher proves them redundant.
+	fs.SetRecoveredMax(seed)
+
+	report.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	db.CheckpointStats().SetRestart(time.Since(start).Nanoseconds(),
+		int64(rep.AppliedGroups), int64(rep.SkippedGroups))
+	return report, nil
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // setupSchema creates the tables and registers the procedure catalog
@@ -206,7 +296,7 @@ func setupSchema(db *thedb.DB, name string) {
 }
 
 // populate loads the workload's baseline rows (first boot; later
-// boots restore them from the checkpoint instead).
+// boots restore them from the checkpoint and WAL tail instead).
 func populate(db *thedb.DB, name string, ycsbRecords, sbAccounts int) error {
 	switch name {
 	case "kv":
@@ -218,119 +308,6 @@ func populate(db *thedb.DB, name string, ycsbRecords, sbAccounts int) error {
 	default:
 		return fmt.Errorf("unknown workload %q", name)
 	}
-}
-
-// checkpointPath is where a generation's recovered state is folded.
-func checkpointPath(walDir string) string {
-	return filepath.Join(walDir, "checkpoint.snap")
-}
-
-// recoverGeneration folds the previous server generation — the last
-// checkpoint plus whatever the worker logs recorded after it — into a
-// fresh checkpoint.snap, using a throwaway engine so the serving
-// database starts from a single consistent snapshot and a truncated
-// log. A no-op when the directory holds no logged transactions.
-//
-// Value entries replay under the Thomas write rule; command entries
-// re-execute through the throwaway engine (which is why it needs the
-// full procedure catalog). The new checkpoint is written to a temp
-// file, synced, and renamed, so a crash mid-recovery leaves the old
-// generation intact.
-func recoverGeneration(walDir string, cfg thedb.Config, workload string, ycsbRecords, sbAccounts int, salvage bool) error {
-	logPaths, err := filepath.Glob(filepath.Join(walDir, "worker-*.wal"))
-	if err != nil {
-		return err
-	}
-	var logs []*os.File
-	defer func() {
-		for _, f := range logs {
-			if cerr := f.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "thedb-server: closing recovered log:", cerr)
-			}
-		}
-	}()
-	for _, p := range logPaths {
-		st, err := os.Stat(p)
-		if err != nil {
-			return err
-		}
-		if st.Size() == 0 {
-			continue
-		}
-		f, err := os.Open(p)
-		if err != nil {
-			return err
-		}
-		logs = append(logs, f)
-	}
-	if len(logs) == 0 {
-		return nil // nothing logged since the checkpoint (or first boot)
-	}
-
-	rcfg := thedb.Config{Protocol: cfg.Protocol, Workers: 1, LogMode: cfg.LogMode}
-	rdb, err := thedb.Open(rcfg)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := rdb.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "thedb-server: closing recovery engine:", cerr)
-		}
-	}()
-	setupSchema(rdb, workload)
-	var checkpoint io.Reader
-	ckFile, err := os.Open(checkpointPath(walDir))
-	switch {
-	case err == nil:
-		defer func() {
-			if cerr := ckFile.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "thedb-server: closing checkpoint:", cerr)
-			}
-		}()
-		checkpoint = ckFile
-	case os.IsNotExist(err):
-		// First generation: the logs replay onto the baseline rows.
-		if err := populate(rdb, workload, ycsbRecords, sbAccounts); err != nil {
-			return err
-		}
-	default:
-		return err
-	}
-	streams := make([]io.Reader, len(logs))
-	for i, f := range logs {
-		streams[i] = f
-	}
-	rep, err := rdb.RecoverFromWith(checkpoint, streams, thedb.RecoverOptions{Salvage: salvage})
-	if err != nil {
-		return fmt.Errorf("%w (rerun with -wal.salvage to restore the committed prefix of a crashed log)", err)
-	}
-	if salvage && rep != nil {
-		for i := range rep.Damage {
-			fmt.Fprintln(os.Stderr, "thedb-server: salvage:", rep.Damage[i].Error())
-		}
-	}
-
-	tmp, err := os.CreateTemp(walDir, "checkpoint-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := rdb.Checkpoint(tmp); err != nil {
-		cerr := tmp.Close()
-		_ = cerr // the temp file is discarded; the checkpoint error wins
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), checkpointPath(walDir)); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "thedb-server: recovered %d log stream(s) into %s\n", len(logs), checkpointPath(walDir))
-	return nil
 }
 
 // registerKV installs the shell-friendly KV catalog: one ordered

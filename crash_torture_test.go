@@ -107,7 +107,7 @@ func bankDB(t testing.TB, cfg Config) *DB {
 func checkpointOf(t testing.TB, db *DB) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := db.Checkpoint(&buf); err != nil {
+	if err := db.WriteCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

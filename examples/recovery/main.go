@@ -103,7 +103,7 @@ func demo(mode thedb.LogMode) {
 	// Phase 1: work, then checkpoint.
 	runWorkload(db, 300)
 	var checkpoint bytes.Buffer
-	if err := db.Checkpoint(&checkpoint); err != nil {
+	if err := db.WriteCheckpoint(&checkpoint); err != nil {
 		log.Fatal(err)
 	}
 
@@ -115,7 +115,7 @@ func demo(mode thedb.LogMode) {
 	}
 
 	var before bytes.Buffer
-	if err := db.Checkpoint(&before); err != nil {
+	if err := db.WriteCheckpoint(&before); err != nil {
 		log.Fatal(err)
 	}
 
@@ -150,7 +150,7 @@ func demo(mode thedb.LogMode) {
 		}
 	} else {
 		var after bytes.Buffer
-		if err := db2.Checkpoint(&after); err != nil {
+		if err := db2.WriteCheckpoint(&after); err != nil {
 			log.Fatal(err)
 		}
 		if !bytes.Equal(before.Bytes(), after.Bytes()) {

@@ -13,8 +13,13 @@
 //   - the method is declared in a durability-owning package
 //     (thedb root or thedb/internal/wal), wherever the call appears —
 //     this catches `defer db.Close()` in examples and cmd binaries; or
-//   - the call appears inside thedb/internal/wal itself, whatever the
-//     receiver (os.File.Sync, bufio.Writer.Flush, ...); or
+//   - the call appears inside thedb/internal/wal or
+//     thedb/internal/checkpoint itself, whatever the receiver
+//     (os.File.Sync, bufio.Writer.Flush, ...) — and in those strict
+//     packages a discarded os.Rename error is flagged too, because
+//     rename is the crash-atomic publish point: a dropped error there
+//     means no checkpoint was published while the round goes on to
+//     truncate the WAL generations the image was supposed to cover; or
 //   - the call appears inside the network serving plane
 //     (thedb/internal/server) and the receiver's method is declared by
 //     a transport package (net, bufio, crypto/tls). A dropped
@@ -43,9 +48,19 @@ var GuardPkgs = map[string]bool{
 }
 
 // StrictPkgs are packages where every discarded Sync/Flush/Close
-// error is flagged regardless of the receiver's declaring package.
+// error is flagged regardless of the receiver's declaring package,
+// and where discarded errors from the publish functions in
+// StrictFuncs (os.Rename) are flagged as well.
 var StrictPkgs = map[string]bool{
-	"thedb/internal/wal": true,
+	"thedb/internal/wal":        true,
+	"thedb/internal/checkpoint": true,
+}
+
+// StrictFuncs are package-level (receiverless) functions whose
+// discarded error is flagged inside StrictPkgs, keyed by declaring
+// package path then function name.
+var StrictFuncs = map[string]map[string]bool{
+	"os": {"Rename": true},
 }
 
 // NetPkgs are packages where discarding a Close/Flush error on a
@@ -91,19 +106,27 @@ func run(pass *ana.Pass) error {
 				return true
 			}
 			fn := ana.CalleeFunc(pass.Info, call)
-			if fn == nil || !GuardMethods[fn.Name()] {
+			if fn == nil {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
-				return true
-			}
-			if !isErrorType(sig.Results().At(0).Type()) {
+			if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
 				return true
 			}
 			declaring := ""
 			if fn.Pkg() != nil {
 				declaring = fn.Pkg().Path()
+			}
+			if sig.Recv() == nil {
+				// Receiverless publish functions (os.Rename) only
+				// matter inside strict packages.
+				if strict && StrictFuncs[declaring][fn.Name()] {
+					pass.Reportf(call.Pos(), "error from %s discarded: a dropped rename error means the image was never published while the round proceeds; check it (or annotate with //thedb:nolint:syncerr)", fn.Name())
+				}
+				return true
+			}
+			if !GuardMethods[fn.Name()] {
+				return true
 			}
 			netGuard := NetPkgs[pass.Pkg.Path()] && netDeclaring[declaring]
 			if !strict && !GuardPkgs[declaring] && !netGuard {

@@ -1,0 +1,415 @@
+// Package checkpoint implements THEDB's online checkpoint subsystem
+// (paper Appendix C, made non-blocking): slot-framed binary snapshots
+// of the whole catalog taken while workers keep committing, published
+// crash-atomically, plus the WAL generation files whose tail — the
+// epochs above the newest checkpoint's watermark — is all a restart
+// has to replay.
+//
+// On disk a checkpoint is a sequence of CRC32C frames, reusing the
+// WAL's frame layout ([len u32 LE][crc32c u32 LE][payload]):
+//
+//	header  magic, format version, schema digest, sealed-epoch
+//	        watermark, table count, slot capacity
+//	slot*   one table's rows in primary-key order, at most slotRows
+//	        per slot, each row (key, ts, tuple)
+//	footer  slot count, row count, max row epoch — so a truncated
+//	        file can never masquerade as a short-but-valid image
+//
+// The watermark is the epoch-consistency contract with the WAL: every
+// transaction with commit epoch ≤ watermark is fully contained in the
+// image, so WAL generations whose maximum epoch is at or below it can
+// be deleted, and recovery replays only generations above it. Rows
+// with epochs above the watermark may also appear (the scan is fuzzy);
+// the publisher guarantees they are durable in the WAL before the
+// image becomes visible, so the tail replay always re-applies their
+// commit groups in full (see Checkpointer).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+	"sort"
+
+	"thedb/internal/storage"
+)
+
+// Frame payload kinds.
+const (
+	kindHeader byte = 1
+	kindSlot   byte = 2
+	kindFooter byte = 3
+)
+
+// Magic identifies the slot-framed checkpoint format ("thedbck2";
+// "thedbcp1" was the legacy unframed quiesced format in package wal).
+const Magic uint64 = 0x7468656462636b32
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// slotRows is the slot capacity: rows per CRC-framed slot. Bounded so
+// single-slot corruption is detectable at fine grain and decode
+// buffers stay small.
+const slotRows = 512
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+var ecma = crc64.MakeTable(crc64.ECMA)
+
+// Header is a checkpoint file's decoded header frame.
+type Header struct {
+	Magic        uint64
+	Version      uint32
+	SchemaDigest uint64
+	Watermark    uint32 // sealed-epoch watermark (see package doc)
+	Tables       uint32
+	SlotRows     uint32
+}
+
+// Info describes a written or loaded checkpoint image.
+type Info struct {
+	Path        string // file path ("" for raw streams)
+	Seq         uint64 // publication sequence number (file name)
+	Watermark   uint32 // sealed-epoch watermark
+	MaxRowEpoch uint32 // highest commit epoch on any row in the image
+	Rows        int64
+	Bytes       int64
+	Tables      int
+}
+
+// SchemaDigest hashes the catalog's schema shape — table names, order,
+// column names and kinds, secondary index names — so a checkpoint is
+// never loaded into a catalog it was not written from. The digest is
+// deliberately insensitive to non-layout schema knobs (ranks, shard
+// shifts, partition functions): those change behavior, not the stored
+// bytes.
+func SchemaDigest(catalog *storage.Catalog) uint64 {
+	var b []byte
+	for _, tab := range catalog.Tables() {
+		s := tab.Schema()
+		b = storage.AppendString(b, s.Name)
+		b = binary.AppendUvarint(b, uint64(len(s.Columns)))
+		for _, c := range s.Columns {
+			b = storage.AppendString(b, c.Name)
+			b = append(b, byte(c.Kind))
+		}
+		b = binary.AppendUvarint(b, uint64(len(s.Secondaries)))
+		for _, sec := range s.Secondaries {
+			b = storage.AppendString(b, sec.Name)
+		}
+	}
+	return crc64.Checksum(b, ecma)
+}
+
+// row is one snapshotted record.
+type row struct {
+	key storage.Key
+	ts  uint64
+	t   storage.Tuple
+}
+
+// tableImage is one table's scanned rows, key-sorted.
+type tableImage struct {
+	id   int
+	rows []row
+}
+
+// writeFrame wraps payload in a length-prefixed CRC32C frame (the
+// WAL's frame layout) and writes it.
+func writeFrame(w io.Writer, scratch, payload []byte) ([]byte, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	scratch = append(scratch[:0], hdr[:]...)
+	scratch = append(scratch, payload...)
+	_, err := w.Write(scratch)
+	return scratch, err
+}
+
+// readFrame reads one frame, verifying its checksum.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF means a clean end for the caller to judge
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > 1<<26 {
+		return nil, fmt.Errorf("checkpoint: implausible frame length %d", length)
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("checkpoint: truncated frame body")
+		}
+		return nil, err
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: frame checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return buf, nil
+}
+
+// encodeHeader builds the header frame payload.
+func encodeHeader(h Header) []byte {
+	b := make([]byte, 0, 1+8+4+8+4+4+4)
+	b = append(b, kindHeader)
+	b = binary.LittleEndian.AppendUint64(b, h.Magic)
+	b = binary.LittleEndian.AppendUint32(b, h.Version)
+	b = binary.LittleEndian.AppendUint64(b, h.SchemaDigest)
+	b = binary.LittleEndian.AppendUint32(b, h.Watermark)
+	b = binary.LittleEndian.AppendUint32(b, h.Tables)
+	b = binary.LittleEndian.AppendUint32(b, h.SlotRows)
+	return b
+}
+
+func decodeHeader(payload []byte) (Header, error) {
+	var h Header
+	if len(payload) != 1+8+4+8+4+4+4 || payload[0] != kindHeader {
+		return h, fmt.Errorf("checkpoint: malformed header frame")
+	}
+	h.Magic = binary.LittleEndian.Uint64(payload[1:])
+	h.Version = binary.LittleEndian.Uint32(payload[9:])
+	h.SchemaDigest = binary.LittleEndian.Uint64(payload[13:])
+	h.Watermark = binary.LittleEndian.Uint32(payload[21:])
+	h.Tables = binary.LittleEndian.Uint32(payload[25:])
+	h.SlotRows = binary.LittleEndian.Uint32(payload[29:])
+	return h, nil
+}
+
+// Write serializes images into w as a slot-framed checkpoint with the
+// given watermark. It returns the row count, byte count and maximum
+// row epoch written. midSlot, when non-nil, is called once after the
+// first slot frame (crash-point injection for the torture harness).
+func Write(w io.Writer, catalog *storage.Catalog, watermark uint32, images []tableImage, midSlot func() error) (rows int64, bytes_ int64, maxRowEpoch uint32, err error) {
+	count := func(b []byte, e error) error {
+		bytes_ += int64(len(b))
+		return e
+	}
+	var scratch, payload []byte
+	hdr := encodeHeader(Header{
+		Magic: Magic, Version: Version,
+		SchemaDigest: SchemaDigest(catalog),
+		Watermark:    watermark,
+		Tables:       uint32(len(catalog.Tables())),
+		SlotRows:     slotRows,
+	})
+	if scratch, err = writeFrame(w, scratch, hdr); err != nil {
+		return 0, 0, 0, err
+	}
+	_ = count(scratch, nil)
+	slots := 0
+	for _, img := range images {
+		for lo := 0; lo < len(img.rows); lo += slotRows {
+			hi := lo + slotRows
+			if hi > len(img.rows) {
+				hi = len(img.rows)
+			}
+			payload = payload[:0]
+			payload = append(payload, kindSlot)
+			payload = binary.AppendUvarint(payload, uint64(img.id))
+			payload = binary.AppendUvarint(payload, uint64(hi-lo))
+			for _, r := range img.rows[lo:hi] {
+				payload = binary.AppendUvarint(payload, uint64(r.key))
+				payload = binary.AppendUvarint(payload, r.ts)
+				payload = binary.AppendUvarint(payload, uint64(len(r.t)))
+				for _, v := range r.t {
+					payload = storage.AppendValue(payload, v)
+				}
+				if e, _ := storage.SplitTS(r.ts); e > maxRowEpoch {
+					maxRowEpoch = e
+				}
+				rows++
+			}
+			if scratch, err = writeFrame(w, scratch, payload); err != nil {
+				return rows, bytes_, maxRowEpoch, err
+			}
+			_ = count(scratch, nil)
+			slots++
+			if slots == 1 && midSlot != nil {
+				if err := midSlot(); err != nil {
+					return rows, bytes_, maxRowEpoch, err
+				}
+			}
+		}
+	}
+	payload = payload[:0]
+	payload = append(payload, kindFooter)
+	payload = binary.AppendUvarint(payload, uint64(slots))
+	payload = binary.AppendUvarint(payload, uint64(rows))
+	payload = binary.AppendUvarint(payload, uint64(maxRowEpoch))
+	if scratch, err = writeFrame(w, scratch, payload); err != nil {
+		return rows, bytes_, maxRowEpoch, err
+	}
+	_ = count(scratch, nil)
+	return rows, bytes_, maxRowEpoch, nil
+}
+
+// Load decodes and validates a checkpoint stream end to end — header,
+// every slot's checksum, footer totals, clean EOF — and only then
+// applies the rows to the catalog (tab.Put bulk loads, bypassing
+// concurrency control). The catalog must hold the schema the image
+// was written from (checked via the digest) and should hold no data.
+// On any error the catalog is untouched.
+func Load(catalog *storage.Catalog, r io.Reader) (*Info, error) {
+	var buf []byte
+	frame, err := readFrame(r, buf)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("checkpoint: empty stream")
+		}
+		return nil, err
+	}
+	h, err := decodeHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	if h.Magic != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %016x", h.Magic)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d", h.Version)
+	}
+	if want := SchemaDigest(catalog); h.SchemaDigest != want {
+		return nil, fmt.Errorf("checkpoint: schema digest %016x does not match catalog %016x", h.SchemaDigest, want)
+	}
+	if int(h.Tables) != len(catalog.Tables()) {
+		return nil, fmt.Errorf("checkpoint: image has %d tables, catalog has %d", h.Tables, len(catalog.Tables()))
+	}
+
+	info := &Info{Watermark: h.Watermark, Tables: int(h.Tables)}
+	type slotRowsDecoded struct {
+		table int
+		rows  []row
+	}
+	var slots []slotRowsDecoded
+	var rows int64
+	var maxRowEpoch uint32
+	footerSeen := false
+	var footSlots, footRows, footMax uint64
+	for {
+		frame, err = readFrame(r, frame)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if footerSeen {
+			return nil, fmt.Errorf("checkpoint: frame after footer")
+		}
+		if len(frame) == 0 {
+			return nil, fmt.Errorf("checkpoint: empty frame payload")
+		}
+		switch frame[0] {
+		case kindSlot:
+			rd := bytes.NewReader(frame[1:])
+			tid, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			if int(tid) >= len(catalog.Tables()) {
+				return nil, fmt.Errorf("checkpoint: slot references table %d, catalog has %d tables", tid, len(catalog.Tables()))
+			}
+			n, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			ncols := len(catalog.TableByID(int(tid)).Schema().Columns)
+			sl := slotRowsDecoded{table: int(tid), rows: make([]row, 0, n)}
+			for j := uint64(0); j < n; j++ {
+				key, err := binary.ReadUvarint(rd)
+				if err != nil {
+					return nil, err
+				}
+				ts, err := binary.ReadUvarint(rd)
+				if err != nil {
+					return nil, err
+				}
+				nc, err := binary.ReadUvarint(rd)
+				if err != nil {
+					return nil, err
+				}
+				if int(nc) != ncols {
+					return nil, fmt.Errorf("checkpoint: row of table %d has %d columns, schema has %d", tid, nc, ncols)
+				}
+				t := make(storage.Tuple, nc)
+				for c := range t {
+					if t[c], err = storage.ReadValue(rd); err != nil {
+						return nil, err
+					}
+				}
+				sl.rows = append(sl.rows, row{key: storage.Key(key), ts: ts, t: t})
+				if e, _ := storage.SplitTS(ts); e > maxRowEpoch {
+					maxRowEpoch = e
+				}
+				rows++
+			}
+			if rd.Len() != 0 {
+				return nil, fmt.Errorf("checkpoint: %d trailing bytes in slot", rd.Len())
+			}
+			slots = append(slots, sl)
+		case kindFooter:
+			rd := bytes.NewReader(frame[1:])
+			if footSlots, err = binary.ReadUvarint(rd); err != nil {
+				return nil, err
+			}
+			if footRows, err = binary.ReadUvarint(rd); err != nil {
+				return nil, err
+			}
+			if footMax, err = binary.ReadUvarint(rd); err != nil {
+				return nil, err
+			}
+			footerSeen = true
+		default:
+			return nil, fmt.Errorf("checkpoint: bad frame kind %d", frame[0])
+		}
+	}
+	if !footerSeen {
+		return nil, fmt.Errorf("checkpoint: missing footer (truncated image)")
+	}
+	if footSlots != uint64(len(slots)) || footRows != uint64(rows) || uint32(footMax) != maxRowEpoch {
+		return nil, fmt.Errorf("checkpoint: footer mismatch (slots %d/%d, rows %d/%d, max epoch %d/%d)",
+			footSlots, len(slots), footRows, rows, footMax, maxRowEpoch)
+	}
+
+	for _, sl := range slots {
+		tab := catalog.TableByID(sl.table)
+		for _, r := range sl.rows {
+			tab.Put(r.key, r.t, r.ts)
+		}
+	}
+	info.Rows = rows
+	info.MaxRowEpoch = maxRowEpoch
+	return info, nil
+}
+
+// Scan snapshots every table of a live catalog without stalling
+// writers: each record is read with the seqlock-style
+// Record.StableSnapshot (timestamp and tuple as one consistent pair),
+// invisible records are skipped, and rows are key-sorted for
+// deterministic images. The result is fuzzy — rows may carry epochs
+// above any single cut — which is exactly what the watermark/publish
+// contract of the Checkpointer accounts for.
+func Scan(catalog *storage.Catalog) []tableImage {
+	images := make([]tableImage, 0, len(catalog.Tables()))
+	for _, tab := range catalog.Tables() {
+		img := tableImage{id: tab.ID()}
+		tab.ForEach(func(k storage.Key, rec *storage.Record) bool {
+			ts, t, visible := rec.StableSnapshot()
+			if visible {
+				img.rows = append(img.rows, row{key: k, ts: ts, t: t})
+			}
+			return true
+		})
+		sort.Slice(img.rows, func(i, j int) bool { return img.rows[i].key < img.rows[j].key })
+		images = append(images, img)
+	}
+	return images
+}

@@ -62,6 +62,23 @@ func NewEpochManager(interval time.Duration) *EpochManager {
 // Current returns the global epoch.
 func (m *EpochManager) Current() uint32 { return m.cur.Load() }
 
+// SeedTo fast-forwards the epoch to at least epoch (never backwards).
+// Recovery uses it before serving resumes: the epoch counter restarts
+// at 1 in every process, but recovered records carry timestamps from
+// earlier generations, and a commit touching one would inherit an
+// epoch far above the advancer's counter — its group would then sit
+// above every seal the advancer writes and be dropped by any salvage.
+// Seeding past the recovered maximum keeps commit epochs and seal
+// epochs in the same regime across restarts.
+func (m *EpochManager) SeedTo(epoch uint32) {
+	for {
+		cur := m.cur.Load()
+		if epoch <= cur || m.cur.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
 // Advance bumps the epoch once (the advancer goroutine, tests, manual
 // control) and runs the stall check against the new epoch.
 func (m *EpochManager) Advance() uint32 {

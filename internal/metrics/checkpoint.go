@@ -1,0 +1,40 @@
+package metrics
+
+import "sync/atomic"
+
+// Checkpoint holds the checkpoint subsystem's counters plus the boot
+// restart measurements, exposed as the thedb_checkpoint_* and
+// thedb_restart_* series on the obs plane. All fields are atomics:
+// the background checkpointer writes them while scrapes read.
+type Checkpoint struct {
+	// Taken counts successfully published checkpoints.
+	Taken atomic.Int64
+	// Failed counts checkpoint rounds that aborted before publishing
+	// (scan error, durability lost, injected crash point).
+	Failed atomic.Int64
+	// LastWatermark is the sealed-epoch watermark of the newest
+	// published checkpoint: every transaction with commit epoch at or
+	// below it is fully contained in the checkpoint image.
+	LastWatermark atomic.Uint32
+	// LastRows and LastBytes describe the newest published image.
+	LastRows  atomic.Int64
+	LastBytes atomic.Int64
+	// LastDurationNS is the wall time of the newest successful round,
+	// scan through publish and truncation.
+	LastDurationNS atomic.Int64
+	// WALGensRemoved counts WAL generation files deleted because the
+	// checkpoint watermark covered them.
+	WALGensRemoved atomic.Int64
+
+	// Restart measurements, set once at boot by the server.
+	RestartNS       atomic.Int64 // wall time of the whole boot recovery
+	RestartReplayed atomic.Int64 // commit groups applied from the WAL tail
+	RestartSkipped  atomic.Int64 // groups below the checkpoint watermark, not replayed
+}
+
+// SetRestart records the boot recovery measurements.
+func (c *Checkpoint) SetRestart(wallNS, replayed, skipped int64) {
+	c.RestartNS.Store(wallNS)
+	c.RestartReplayed.Store(replayed)
+	c.RestartSkipped.Store(skipped)
+}

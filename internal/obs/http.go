@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -23,7 +24,14 @@ type Plane struct {
 	rec       atomic.Pointer[Recorder]
 	tableName atomic.Pointer[func(int) string]
 	srvStats  atomic.Pointer[metrics.Server]
+	ckStats   atomic.Pointer[metrics.Checkpoint]
+	bootRep   atomic.Pointer[bootReport]
 }
+
+// bootReport boxes the boot recovery report for atomic swap; the
+// payload is pre-rendered JSON so the plane needs no knowledge of the
+// reporting type.
+type bootReport struct{ json []byte }
 
 // source boxes the snapshot closure (atomic.Pointer needs a concrete
 // pointee type).
@@ -62,12 +70,35 @@ func (p *Plane) SetServerStats(s *metrics.Server) {
 	p.srvStats.Store(s)
 }
 
+// SetCheckpointStats attaches the checkpoint subsystem's counters
+// (nil detaches): /metrics then appends the thedb_checkpoint_* and
+// thedb_restart_* series.
+func (p *Plane) SetCheckpointStats(c *metrics.Checkpoint) {
+	p.ckStats.Store(c)
+}
+
+// SetBootReport attaches the boot recovery report served at
+// /debug/recovery. rep must be JSON-marshalable; a marshal failure is
+// reported by the endpoint, never at set time.
+func (p *Plane) SetBootReport(rep any) {
+	if rep == nil {
+		p.bootRep.Store(nil)
+		return
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	p.bootRep.Store(&bootReport{json: b})
+}
+
 // Handler returns the exposition mux:
 //
-//	/metrics       Prometheus text format of the live snapshot
-//	/debug/events  flight-recorder dump (merged, time-ordered)
-//	/debug/pprof/  the standard pprof index (worker goroutines carry
-//	               a thedb_worker label when driven via DoWorker)
+//	/metrics         Prometheus text format of the live snapshot
+//	/debug/events    flight-recorder dump (merged, time-ordered)
+//	/debug/recovery  boot recovery report (JSON), 404 until set
+//	/debug/pprof/    the standard pprof index (worker goroutines carry
+//	                 a thedb_worker label when driven via DoWorker)
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +111,18 @@ func (p *Plane) Handler() http.Handler {
 		if s := p.srvStats.Load(); s != nil {
 			WritePromServer(w, s.Snapshot())
 		}
+		if c := p.ckStats.Load(); c != nil {
+			WritePromCheckpoint(w, c)
+		}
+	})
+	mux.HandleFunc("/debug/recovery", func(w http.ResponseWriter, r *http.Request) {
+		rep := p.bootRep.Load()
+		if rep == nil {
+			http.Error(w, "no recovery report (fresh start or report not attached)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rep.json)
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 		rec := p.rec.Load()

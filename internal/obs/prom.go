@@ -88,6 +88,30 @@ func WritePromServer(w io.Writer, s metrics.Server) {
 	counter("thedb_server_bytes_out_total", "Raw bytes written to client connections.", s.BytesOut)
 }
 
+// WritePromCheckpoint renders the checkpoint subsystem's counters and
+// the boot restart measurements. Emitted when a Plane has checkpoint
+// stats attached.
+func WritePromCheckpoint(w io.Writer, c *metrics.Checkpoint) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("thedb_checkpoint_taken_total", "Checkpoints published.", c.Taken.Load())
+	counter("thedb_checkpoint_failed_total", "Checkpoint rounds aborted before publishing.", c.Failed.Load())
+	counter("thedb_checkpoint_wal_gens_removed_total", "WAL generation files deleted under the checkpoint watermark.", c.WALGensRemoved.Load())
+	gauge("thedb_checkpoint_watermark_epoch", "Sealed-epoch watermark of the newest published checkpoint.", float64(c.LastWatermark.Load()))
+	gauge("thedb_checkpoint_last_rows", "Rows in the newest published checkpoint image.", float64(c.LastRows.Load()))
+	gauge("thedb_checkpoint_last_bytes", "Bytes of the newest published checkpoint image.", float64(c.LastBytes.Load()))
+	gauge("thedb_checkpoint_last_duration_seconds", "Wall time of the newest successful checkpoint round.", float64(c.LastDurationNS.Load())/float64(time.Second))
+
+	gauge("thedb_restart_seconds", "Wall time of boot recovery (checkpoint load plus WAL tail replay).", float64(c.RestartNS.Load())/float64(time.Second))
+	gauge("thedb_restart_replayed_groups", "Commit groups replayed from the WAL tail at boot.", float64(c.RestartReplayed.Load()))
+	gauge("thedb_restart_skipped_groups", "Commit groups below the checkpoint watermark, skipped at boot.", float64(c.RestartSkipped.Load()))
+}
+
 // writeLatencyHistogram emits the committed-latency doubling buckets
 // as a Prometheus histogram in seconds.
 func writeLatencyHistogram(w io.Writer, a *metrics.Aggregate) {

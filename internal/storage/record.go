@@ -167,6 +167,31 @@ func (r *Record) SetVisible(v bool) {
 // in a fresh copy).
 func (r *Record) Tuple() Tuple { return *r.tuple.Load() }
 
+// StableSnapshot reads the record's timestamp, visibility and tuple
+// as one consistent pair without blocking writers: a seqlock-style
+// loop reads the meta word, then the tuple pointer, then the meta
+// word again, and accepts only when the record was unlocked and the
+// meta word did not move. Writers install the tuple before stamping
+// the timestamp (both under the record lock), so an accepted pair is
+// exactly some committed version — never a new timestamp over an old
+// tuple. The online checkpointer depends on that: pairing a stale
+// tuple with a fresh timestamp would survive the Thomas write rule
+// at replay and corrupt the restored state.
+func (r *Record) StableSnapshot() (ts uint64, t Tuple, visible bool) {
+	for i := 0; ; i++ {
+		m1 := r.meta.Load()
+		if m1&metaLockBit == 0 {
+			tp := r.tuple.Load()
+			if r.meta.Load() == m1 {
+				return m1 & metaTSMask, *tp, m1&metaVisibleBit != 0
+			}
+		}
+		if i%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // SetTuple installs a new row image. The caller must hold the record
 // lock and must not mutate t afterwards.
 func (r *Record) SetTuple(t Tuple) { r.tuple.Store(&t) }

@@ -34,6 +34,16 @@ type RecoverOptions struct {
 	// every commit group of a verified log, seals or not — it is
 	// the mode for logs that were closed cleanly.
 	Salvage bool
+
+	// FromEpoch skips commit groups with epoch ≤ FromEpoch instead
+	// of applying them: their effects are already present in the
+	// checkpoint the caller restored first (the checkpoint's sealed-
+	// epoch watermark). For value logs the skip is an optimization —
+	// the Thomas write rule would discard the stale writes anyway —
+	// but for command logs it is a correctness requirement: replaying
+	// a command whose effects a checkpoint already contains would
+	// double-apply it. Zero (the default) skips nothing.
+	FromEpoch uint32
 }
 
 // RecoveryResult reports what recovery did. In salvage mode it is
@@ -55,6 +65,17 @@ type RecoveryResult struct {
 	// DroppedGroups counts complete commit groups discarded in
 	// salvage mode because their epoch exceeds DurableEpoch.
 	DroppedGroups int
+
+	// SkippedGroups counts commit groups below the FromEpoch
+	// watermark, already covered by the caller's checkpoint.
+	SkippedGroups int
+
+	// MaxEpoch is the highest epoch observed anywhere in the intact
+	// portion of the streams — commit groups (applied, dropped or
+	// skipped), seals, and torn trailing entries. A new engine
+	// serving the recovered state must seed its epoch above it so
+	// commit timestamps stay monotone across process generations.
+	MaxEpoch uint32
 
 	// TornGroups counts streams that ended in a record group with
 	// no commit entry (the group's entries are never applied).
@@ -88,12 +109,13 @@ type commitGroup struct {
 
 // streamScan is the verification pass over one stream.
 type streamScan struct {
-	groups  []commitGroup
-	maxSeal uint32
-	damage  *CorruptionError
-	torn    int   // entries in the trailing commit-less group
-	tornOff int64 // offset of that group's first entry
-	empty   bool  // stream held no bytes at all
+	groups   []commitGroup
+	maxSeal  uint32
+	maxEpoch uint32 // highest epoch in any intact frame (seals, groups, torn entries)
+	damage   *CorruptionError
+	torn     int   // entries in the trailing commit-less group
+	tornOff  int64 // offset of that group's first entry
+	empty    bool  // stream held no bytes at all
 }
 
 // scanStream decodes one stream up to its first unreadable frame.
@@ -133,11 +155,20 @@ func scanStream(idx int, r io.Reader) (*streamScan, error) {
 			if epoch := uint32(e.ts); epoch > sc.maxSeal {
 				sc.maxSeal = epoch
 			}
+			if epoch := uint32(e.ts); epoch > sc.maxEpoch {
+				sc.maxEpoch = epoch
+			}
 		case KindCommit:
+			if epoch, _ := storage.SplitTS(e.ts); epoch > sc.maxEpoch {
+				sc.maxEpoch = epoch
+			}
 			sc.groups = append(sc.groups, commitGroup{ts: e.ts, entries: pending})
 			pending = nil
 			pendingOff = -1
 		default:
+			if epoch, _ := storage.SplitTS(e.ts); epoch > sc.maxEpoch {
+				sc.maxEpoch = epoch
+			}
 			if pendingOff < 0 {
 				pendingOff = off
 			}
@@ -324,8 +355,15 @@ func RecoverStreams(catalog *storage.Catalog, streams []io.Reader, opts RecoverO
 		if sc.torn > 0 {
 			res.TornGroups++
 		}
+		if sc.maxEpoch > res.MaxEpoch {
+			res.MaxEpoch = sc.maxEpoch
+		}
 		for _, g := range sc.groups {
 			epoch, _ := storage.SplitTS(g.ts)
+			if opts.FromEpoch > 0 && epoch <= opts.FromEpoch {
+				res.SkippedGroups++
+				continue
+			}
 			if opts.Salvage && epoch > res.DurableEpoch {
 				res.DroppedGroups++
 				continue

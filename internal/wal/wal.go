@@ -24,7 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
+	"runtime"
 	"sync"
 
 	"thedb/internal/storage"
@@ -74,7 +74,13 @@ type Syncer interface {
 type Logger struct {
 	mode    Mode
 	workers []*WorkerLog
-	sinks   []io.Writer
+
+	// sinkMu guards sinks against concurrent rotation: the epoch
+	// advancer holds it for the whole sync pass, and Rotate holds it
+	// while swapping a sink and retiring the old one, so a sink is
+	// never synced after its file has been handed back for closing.
+	sinkMu sync.Mutex
+	sinks  []io.Writer
 }
 
 // NewLogger builds a logger with one stream per worker; sink is
@@ -138,7 +144,11 @@ func (l *Logger) SealAndSync(epoch uint32) error {
 }
 
 // syncSinks syncs every sink implementing Syncer, aggregating errors.
+// It holds sinkMu across the whole pass so a concurrent Rotate cannot
+// close a file out from under an in-flight fsync.
 func (l *Logger) syncSinks() error {
+	l.sinkMu.Lock()
+	defer l.sinkMu.Unlock()
 	var errs []error
 	for i, s := range l.sinks {
 		sy, ok := s.(Syncer)
@@ -150,6 +160,48 @@ func (l *Logger) syncSinks() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Rotate redirects stream i to a fresh sink at a frame and commit
+// group boundary: it waits for any in-flight commit group to close,
+// flushes the stream's buffer into the old sink (so the old file ends
+// on a complete frame — splitting a frame across generation files
+// would destroy the logical stream when the earlier file is
+// truncated), swaps the sink, and hands the old one to retire (called
+// with the rotation locks held, so no concurrent sync can touch it).
+// It returns the highest epoch the old sink may contain, which is the
+// watermark comparison key for truncating it later. The stream's seal
+// state carries over: generation files concatenate into one logical
+// stream at recovery.
+func (l *Logger) Rotate(i int, next io.Writer, retire func(prev io.Writer) error) (maxEpoch uint32, err error) {
+	wl := l.workers[i]
+	for {
+		wl.mu.Lock()
+		if !wl.inGroup {
+			break
+		}
+		wl.mu.Unlock()
+		runtime.Gosched()
+	}
+	defer wl.mu.Unlock()
+	if err := wl.w.Flush(); err != nil {
+		return 0, err
+	}
+	maxEpoch = wl.lastEpoch
+	if wl.sealed > maxEpoch {
+		maxEpoch = wl.sealed
+	}
+	l.sinkMu.Lock()
+	defer l.sinkMu.Unlock()
+	prev := l.sinks[i]
+	l.sinks[i] = next
+	wl.w = bufio.NewWriterSize(next, 1<<16)
+	if retire != nil {
+		if err := retire(prev); err != nil {
+			return maxEpoch, err
+		}
+	}
+	return maxEpoch, nil
 }
 
 // Close seals every stream at the highest epoch any stream has
@@ -361,66 +413,16 @@ func (wl *WorkerLog) closeAt(epoch uint32) error {
 	return wl.w.Flush()
 }
 
-func appendValue(b []byte, v storage.Value) []byte {
-	b = append(b, byte(v.Kind()))
-	switch v.Kind() {
-	case storage.KindNull:
-	case storage.KindInt:
-		b = binary.AppendVarint(b, v.Int())
-	case storage.KindFloat:
-		b = binary.AppendUvarint(b, math.Float64bits(v.Float()))
-	case storage.KindString:
-		b = appendString(b, v.Str())
-	}
-	return b
-}
+// appendValue and appendString delegate to the shared storage codec
+// (the checkpoint slot format uses the same encoding).
+func appendValue(b []byte, v storage.Value) []byte { return storage.AppendValue(b, v) }
 
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
+func appendString(b []byte, s string) []byte { return storage.AppendString(b, s) }
 
-// byteReader is what the wire decoders need: checkpoints read from a
-// bufio.Reader, frame payloads from a bytes.Reader.
-type byteReader interface {
-	io.Reader
-	io.ByteReader
-}
-
-type reader struct{ r byteReader }
+type reader struct{ r storage.ByteReader }
 
 func (rd *reader) uvarint() (uint64, error) { return binary.ReadUvarint(rd.r) }
 
-func (rd *reader) value() (storage.Value, error) {
-	k, err := rd.r.ReadByte()
-	if err != nil {
-		return storage.Null, err
-	}
-	switch storage.ValueKind(k) {
-	case storage.KindNull:
-		return storage.Null, nil
-	case storage.KindInt:
-		n, err := binary.ReadVarint(rd.r)
-		return storage.Int(n), err
-	case storage.KindFloat:
-		n, err := binary.ReadUvarint(rd.r)
-		return storage.Float(math.Float64frombits(n)), err
-	case storage.KindString:
-		s, err := rd.str()
-		return storage.Str(s), err
-	default:
-		return storage.Null, fmt.Errorf("wal: bad value kind %d", k)
-	}
-}
+func (rd *reader) value() (storage.Value, error) { return storage.ReadValue(rd.r) }
 
-func (rd *reader) str() (string, error) {
-	n, err := binary.ReadUvarint(rd.r)
-	if err != nil {
-		return "", err
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(rd.r, b); err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
+func (rd *reader) str() (string, error) { return storage.ReadString(rd.r) }

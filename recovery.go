@@ -1,6 +1,7 @@
 package thedb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -74,6 +75,14 @@ func (db *DB) RecoverFrom(checkpoint io.Reader, logs []io.Reader) error {
 // truncated at its first damaged frame and only commit groups within
 // the epoch-consistent cut are applied (see RecoverOptions). The
 // returned report carries the cut and per-stream damage.
+//
+// The global epoch is seeded past the highest recovered commit epoch
+// (see SeedEpoch), so new commits land above everything recovered.
+//
+// If command replay fails partway the store holds an undefined mix of
+// replayed and missing effects: the engine is stopped and the database
+// poisoned — every subsequent transaction returns ErrRecoveryFailed
+// (which the returned error wraps). Restore from scratch.
 func (db *DB) RecoverFromWith(checkpoint io.Reader, logs []io.Reader, opts RecoverOptions) (*RecoveryReport, error) {
 	if checkpoint != nil {
 		if err := db.LoadCheckpoint(checkpoint); err != nil {
@@ -84,10 +93,17 @@ func (db *DB) RecoverFromWith(checkpoint io.Reader, logs []io.Reader, opts Recov
 	if err != nil {
 		return nil, err
 	}
+	if rep.MaxEpoch > 0 {
+		db.SeedEpoch(rep.MaxEpoch + 1)
+	}
 	if len(rep.Commands) > 0 {
 		db.Start() // command replay needs a running engine
 		if err := db.ReplayCommands(rep.Commands); err != nil {
-			return rep, err
+			db.poisoned.Store(true)
+			if cerr := db.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return rep, fmt.Errorf("%w: %w", ErrRecoveryFailed, err)
 		}
 	}
 	return rep, nil

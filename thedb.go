@@ -29,11 +29,14 @@
 package thedb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"thedb/internal/checkpoint"
 	"thedb/internal/core"
 	"thedb/internal/det"
 	"thedb/internal/metrics"
@@ -111,6 +114,11 @@ var (
 	ErrContended = core.ErrContended
 	// ErrNoSuchProc reports an unregistered procedure name.
 	ErrNoSuchProc = core.ErrNoSuchProc
+	// ErrRecoveryFailed reports that recovery left the database in an
+	// undefined state (command replay failed partway): the instance is
+	// poisoned and every subsequent transaction fails with this error.
+	// Restore from scratch instead of retrying.
+	ErrRecoveryFailed = errors.New("thedb: recovery failed, database poisoned")
 )
 
 // Protocol selects the concurrency-control mechanism.
@@ -217,6 +225,12 @@ type Config struct {
 	// LogMode selects value or command logging.
 	LogMode LogMode
 
+	// WALSet, when non-nil, logs each worker into the set's rotating
+	// generation files (see OpenWALSet) instead of a fixed LogSink —
+	// the layout checkpoints can truncate. Ignored if LogSink is also
+	// set.
+	WALSet *WALSet
+
 	// SyncRetries bounds retries of a failed epoch log sync before
 	// the engine degrades to a durability-lost state (default 3).
 	SyncRetries int
@@ -255,6 +269,14 @@ type DB struct {
 	logger  *wal.Logger
 	rec     *obs.Recorder // nil unless Config.EventBuffer > 0
 	started bool
+
+	ck      *checkpoint.Checkpointer // background checkpointer, if any
+	ckstats metrics.Checkpoint
+
+	// poisoned latches after a failed recovery: the store may hold a
+	// partially replayed state, so every transaction is refused with
+	// ErrRecoveryFailed rather than serving undefined data.
+	poisoned atomic.Bool
 }
 
 // Open creates an empty database. Create tables and register
@@ -329,6 +351,9 @@ func (db *DB) ensureEngines() {
 		db.deng = det.NewEngine(db.catalog, parts, db.cfg.Workers)
 		return
 	}
+	if db.cfg.LogSink == nil && db.cfg.WALSet != nil {
+		db.cfg.LogSink = db.cfg.WALSet.Sink
+	}
 	if db.cfg.LogSink != nil {
 		db.logger = wal.NewLogger(db.cfg.LogMode, db.cfg.Workers, db.cfg.LogSink)
 	}
@@ -372,6 +397,7 @@ func (db *DB) Start() {
 // per-stream flush and sync failures (errors.Join); a nil return
 // means everything logged so far is on stable storage.
 func (db *DB) Close() error {
+	db.StopCheckpoints()
 	var err error
 	if db.eng != nil && db.started {
 		err = db.eng.Stop()
@@ -395,9 +421,9 @@ func (db *DB) Catalog() *storage.Catalog { return db.catalog }
 func (db *DB) Session(i int) *Session {
 	db.ensureEngines()
 	if db.deng != nil {
-		return &Session{dw: db.deng.Worker(i)}
+		return &Session{db: db, dw: db.deng.Worker(i)}
 	}
-	return &Session{w: db.eng.Worker(i)}
+	return &Session{db: db, w: db.eng.Worker(i)}
 }
 
 // Workers returns the configured session count: valid session indexes
@@ -477,6 +503,7 @@ func (db *DB) ObsPlane() *obs.Plane {
 	p := obs.NewPlane()
 	p.SetSource(db.LiveMetrics)
 	p.SetRecorder(db.rec, db.tableName)
+	p.SetCheckpointStats(&db.ckstats)
 	return p
 }
 
@@ -495,17 +522,6 @@ func (db *DB) ResetMetrics() {
 		return
 	}
 	db.eng.ResetMetrics()
-}
-
-// Checkpoint writes a transaction-consistent snapshot of all visible
-// records. The caller must quiesce transactions first.
-func (db *DB) Checkpoint(w io.Writer) error {
-	return wal.Checkpoint(db.catalog, w)
-}
-
-// LoadCheckpoint restores a snapshot into this (empty) database.
-func (db *DB) LoadCheckpoint(r io.Reader) error {
-	return wal.LoadCheckpoint(db.catalog, r)
 }
 
 // Recover replays value-log streams (Thomas write rule) and returns
@@ -531,6 +547,7 @@ func (db *DB) RecoverWith(streams []io.Reader, opts RecoverOptions) (*RecoveryRe
 
 // Session is one execution thread's handle.
 type Session struct {
+	db *DB
 	w  *core.Worker
 	dw *det.Worker
 }
@@ -540,6 +557,9 @@ type Session struct {
 // environment holding the procedure's outputs, or the application's
 // abort error.
 func (s *Session) Run(procName string, args ...Value) (*Env, error) {
+	if s.db != nil && s.db.poisoned.Load() {
+		return nil, ErrRecoveryFailed
+	}
 	if s.dw != nil {
 		return s.dw.Run(procName, args...)
 	}
@@ -549,6 +569,9 @@ func (s *Session) Run(procName string, args ...Value) (*Env, error) {
 // RunAdhoc executes a procedure as an ad-hoc transaction (§4.8):
 // plain OCC with abort-and-restart, no healing.
 func (s *Session) RunAdhoc(procName string, args ...Value) (*Env, error) {
+	if s.db != nil && s.db.poisoned.Load() {
+		return nil, ErrRecoveryFailed
+	}
 	if s.dw != nil {
 		return s.dw.Run(procName, args...)
 	}
@@ -562,6 +585,9 @@ func (s *Session) RunAdhoc(procName string, args ...Value) (*Env, error) {
 // its OpCtx effects. Not available on the Deterministic engine, whose
 // execution model requires partition sets known up front.
 func (s *Session) Transact(fn func(ctx OpCtx) error) error {
+	if s.db != nil && s.db.poisoned.Load() {
+		return ErrRecoveryFailed
+	}
 	if s.dw != nil {
 		return fmt.Errorf("thedb: Transact is not supported on the deterministic engine")
 	}

@@ -175,7 +175,7 @@ func TestCheckpointAndRecoverThroughAPI(t *testing.T) {
 	db.Close() // flush log
 
 	var snap bytes.Buffer
-	if err := db.Checkpoint(&snap); err != nil {
+	if err := db.WriteCheckpoint(&snap); err != nil {
 		t.Fatal(err)
 	}
 
@@ -185,7 +185,7 @@ func TestCheckpointAndRecoverThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var snap2 bytes.Buffer
-	if err := db2.Checkpoint(&snap2); err != nil {
+	if err := db2.WriteCheckpoint(&snap2); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(snap.Bytes(), snap2.Bytes()) {
@@ -204,7 +204,7 @@ func TestCheckpointAndRecoverThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var snap3 bytes.Buffer
-	if err := db3e.Checkpoint(&snap3); err != nil {
+	if err := db3e.WriteCheckpoint(&snap3); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(snap.Bytes(), snap3.Bytes()) {
