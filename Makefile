@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke recovery-torture restart-smoke bench-restart
+.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke recovery-torture restart-smoke bench-restart bench-ycsb
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# lint runs the custom concurrency-invariant analyzers (metaencap,
-# unlockpath, syncerr, nondet — see DESIGN.md §9) plus the stock
-# `go vet` passes, which thedb-lint invokes itself.
+# lint runs the custom concurrency-invariant analyzers (atomicdisc,
+# lockorder, metaencap, noalloc, nondet, syncerr, unlockpath — see
+# DESIGN.md §9) plus the stock `go vet` passes, which thedb-lint
+# invokes itself. Every run prints the //thedb:nolint tally and fails
+# on suppressions with no justification text.
 lint:
 	$(GO) run ./cmd/thedb-lint ./...
 
@@ -134,6 +136,12 @@ restart-smoke:
 # checkpoint, demonstrating O(tail) restart (ISSUE 6 acceptance).
 bench-restart:
 	THEDB_BENCH_RESTART=1 $(GO) test -run 'BenchRestartSnapshot' -v -timeout 30m .
+
+# bench-ycsb regenerates BENCH_ycsb.json: YCSB throughput and p50/p99
+# latency over in-process sessions and over the loopback serving
+# plane, side by side.
+bench-ycsb:
+	THEDB_BENCH_YCSB=1 $(GO) test -run 'BenchYCSBSnapshot' -v -timeout 10m .
 
 # verify is the pre-merge gate: clean build, vet, and the full suite
 # under the race detector (the crash-torture and concurrency tests are

@@ -1,7 +1,8 @@
 // Command thedb-lint is the multichecker for THEDB's custom
-// concurrency-invariant analyzers (internal/analysis): metaencap,
-// unlockpath, syncerr, and nondet. By default it also runs the stock
-// `go vet` passes over the same patterns so `make lint` is one gate.
+// concurrency-invariant analyzers (internal/analysis): atomicdisc,
+// lockorder, metaencap, noalloc, nondet, syncerr, and unlockpath. By
+// default it also runs the stock `go vet` passes over the same
+// patterns so `make lint` is one gate.
 //
 // Usage:
 //
@@ -12,6 +13,12 @@
 // suppressed with a trailing or preceding comment:
 //
 //	//thedb:nolint:<analyzer>[,<analyzer>] <reason>
+//
+// Every run prints a suppression tally (how many //thedb:nolint
+// comments name each analyzer), and a nolint comment whose analyzer
+// list is not followed by a justification is itself a failing
+// finding — an unexplained suppression is indistinguishable from a
+// silenced bug.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 
 	"thedb/internal/analysis"
 	"thedb/internal/analysis/ana"
@@ -59,6 +67,24 @@ func main() {
 		os.Exit(2)
 	}
 	for _, d := range diags {
+		fmt.Println(d)
+		failed = true
+	}
+
+	audit := ana.AuditSuppressions(pkgs)
+	if len(audit.Counts) > 0 {
+		names := make([]string, 0, len(audit.Counts))
+		for n := range audit.Counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "thedb-lint: suppressions in force:")
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, " %s=%d", n, audit.Counts[n])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	for _, d := range audit.Unjustified {
 		fmt.Println(d)
 		failed = true
 	}

@@ -30,8 +30,13 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check over one package and reports findings
 	// through the pass. A non-nil error aborts the whole lint run
-	// (reserved for internal failures, not findings).
+	// (reserved for internal failures, not findings). Nil for
+	// module-scoped analyzers.
 	Run func(*Pass) error
+	// RunModule executes the check once over the whole loaded module
+	// (interprocedural analyzers: lockorder, noalloc, atomicdisc).
+	// Either Run or RunModule must be set; both is allowed.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzed package to an analyzer.
@@ -58,38 +63,67 @@ func (d Diagnostic) String() string {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
+	reportf(p.diags, p.Analyzer.Name, p.Fset, pos, format, args...)
+}
+
+func reportf(diags *[]Diagnostic, analyzer string, fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*diags = append(*diags, Diagnostic{
+		Analyzer: analyzer,
+		Pos:      fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Run executes every analyzer over every package and returns the
-// surviving diagnostics sorted by position. Findings on lines covered
-// by a //thedb:nolint comment (see suppressions) are dropped.
+// Run executes every analyzer — per-package passes over each package,
+// module passes once over the whole set — and returns the surviving
+// diagnostics sorted by position. Findings on lines covered by a
+// //thedb:nolint comment (see suppressions) are dropped; the
+// suppression set is merged across all packages so a module pass's
+// finding can be silenced where it points.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	sup := suppressionSet{}
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg.Fset, pkg.Files)
-		var pkgDiags []Diagnostic
+		sup.merge(suppressions(pkg.Fset, pkg.Files))
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				diags:    &pkgDiags,
+				diags:    &all,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		for _, d := range pkgDiags {
-			if !sup.covers(d) {
-				diags = append(diags, d)
-			}
+	}
+	var funcs map[*types.Func]*FuncInfo
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if funcs == nil {
+			funcs = IndexFuncs(pkgs)
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Funcs: funcs, diags: &all}
+		if len(pkgs) > 0 {
+			mp.Fset = pkgs[0].Fset
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("analyzer %s (module pass): %w", a.Name, err)
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range all {
+		if !sup.covers(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -111,6 +145,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // suppressionSet maps file -> line -> analyzer names suppressed on
 // that line ("*" suppresses all).
 type suppressionSet map[string]map[int]map[string]bool
+
+// merge folds other into s.
+func (s suppressionSet) merge(other suppressionSet) {
+	for file, lines := range other {
+		if s[file] == nil {
+			s[file] = lines
+			continue
+		}
+		for line, names := range lines {
+			if s[file][line] == nil {
+				s[file][line] = names
+				continue
+			}
+			for n := range names {
+				s[file][line][n] = true
+			}
+		}
+	}
+}
 
 // suppressions collects //thedb:nolint comments. The form is
 //

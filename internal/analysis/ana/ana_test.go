@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"strings"
 	"testing"
 
@@ -187,5 +188,154 @@ func TestLoadRealPackage(t *testing.T) {
 	}
 	if !hasRecordFile {
 		t.Fatal("record.go not among parsed files")
+	}
+}
+
+// lookupFunc finds a declared function or method by name in a checked
+// fixture package.
+func lookupFunc(t *testing.T, pkg *ana.Package, funcs map[*types.Func]*ana.FuncInfo, name string) *types.Func {
+	t.Helper()
+	for fn, info := range funcs {
+		if info.Pkg == pkg && fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil
+}
+
+func TestIndexFuncsAndCallee(t *testing.T) {
+	pkg := checkSource(t, `package fixture
+
+type T struct{}
+
+func (T) Method() {}
+
+func helper() {}
+
+func caller() {
+	helper()
+	var v T
+	v.Method()
+	f := helper
+	f()
+}
+`)
+	funcs := ana.IndexFuncs([]*ana.Package{pkg})
+	for _, name := range []string{"Method", "helper", "caller"} {
+		fn := lookupFunc(t, pkg, funcs, name)
+		if funcs[fn].Decl.Name.Name != name {
+			t.Errorf("IndexFuncs maps %s to decl %s", name, funcs[fn].Decl.Name.Name)
+		}
+	}
+
+	// Callee must resolve the direct call and the method call, and
+	// return nil for the call through a function value.
+	var got []string
+	ast.Inspect(funcs[lookupFunc(t, pkg, funcs, "caller")].Decl, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := ana.Callee(pkg.Info, call); fn != nil {
+				got = append(got, fn.Name())
+			} else {
+				got = append(got, "<dynamic>")
+			}
+		}
+		return true
+	})
+	want := []string{"helper", "Method", "<dynamic>"}
+	if len(got) != len(want) {
+		t.Fatalf("resolved callees %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resolved callees %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSummariesMemoizationAndRecursion: each function's summary is
+// computed exactly once, and a recursive cycle yields the zero value
+// with ok=false for the in-progress member instead of diverging.
+func TestSummariesMemoization(t *testing.T) {
+	pkg := checkSource(t, `package fixture
+
+func a() { b() }
+func b() { a() }
+func leaf() {}
+`)
+	funcs := ana.IndexFuncs([]*ana.Package{pkg})
+	fa := lookupFunc(t, pkg, funcs, "a")
+	fb := lookupFunc(t, pkg, funcs, "b")
+	leaf := lookupFunc(t, pkg, funcs, "leaf")
+
+	computed := map[string]int{}
+	var sums *ana.Summaries[int]
+	sums = ana.NewSummaries(func(fn *types.Func) int {
+		computed[fn.Name()]++
+		n := 1
+		ast.Inspect(funcs[fn].Decl, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				if callee := ana.Callee(pkg.Info, call); callee != nil {
+					if v, ok := sums.Of(callee); ok {
+						n += v
+					}
+				}
+			}
+			return true
+		})
+		return n
+	})
+
+	if v, ok := sums.Of(leaf); !ok || v != 1 {
+		t.Fatalf("leaf summary = %d, %v", v, ok)
+	}
+	// a -> b -> a: the inner request for a (mid-computation) must
+	// report ok=false, so b=1, a=2.
+	if v, ok := sums.Of(fa); !ok || v != 2 {
+		t.Fatalf("a summary = %d, %v, want 2 with the recursive edge dropped", v, ok)
+	}
+	if v, ok := sums.Of(fb); !ok || v != 1 {
+		t.Fatalf("b summary = %d, %v", v, ok)
+	}
+	// Every summary was computed exactly once despite repeated Of calls.
+	sums.Of(fa)
+	sums.Of(fb)
+	for name, n := range computed {
+		if n != 1 {
+			t.Errorf("summary of %s computed %d times, want memoized once", name, n)
+		}
+	}
+}
+
+func TestAuditSuppressions(t *testing.T) {
+	pkg := checkSource(t, `package fixture
+
+var a = 1 //thedb:nolint:foo justified because the test says so
+
+//thedb:nolint:foo,bar shared justification
+var b = 2
+
+var c = 3 //thedb:nolint:foo
+
+//thedb:nolint
+var d = 4
+`)
+	audit := ana.AuditSuppressions([]*ana.Package{pkg})
+	if audit.Counts["foo"] != 3 || audit.Counts["bar"] != 1 || audit.Counts["*"] != 1 {
+		t.Fatalf("counts = %v", audit.Counts)
+	}
+	// Two comments carry no justification text: the bare :foo one and
+	// the bare suppress-everything one.
+	if len(audit.Unjustified) != 2 {
+		t.Fatalf("unjustified = %v", audit.Unjustified)
+	}
+	for _, d := range audit.Unjustified {
+		if d.Analyzer != "nolint-audit" {
+			t.Errorf("unjustified diagnostic analyzer = %q", d.Analyzer)
+		}
+	}
+	if audit.Unjustified[0].Pos.Line != 8 || audit.Unjustified[1].Pos.Line != 10 {
+		t.Fatalf("unjustified at lines %d,%d, want 8,10",
+			audit.Unjustified[0].Pos.Line, audit.Unjustified[1].Pos.Line)
 	}
 }

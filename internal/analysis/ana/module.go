@@ -1,0 +1,173 @@
+package ana
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file extends the per-package driver model with module-wide
+// passes and the interprocedural machinery they share: a function
+// index (types.Func -> declaration), a memoizing summary store with
+// recursion cut-off, and static callee resolution. The lockorder and
+// noalloc analyzers are built on it: a lock acquired in a helper must
+// propagate to every caller, and an allocation three calls deep must
+// surface at the annotated hot path.
+
+// ModulePass carries every loaded package to a module-scoped analyzer
+// (Analyzer.RunModule). All packages must share one token.FileSet,
+// which both Load and the anatest fixture loader guarantee (they
+// type-check everything through a single Checker).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	// Funcs indexes every function and method declared in Pkgs by its
+	// types.Func object, so analyzers can walk into callee bodies
+	// across package boundaries.
+	Funcs map[*types.Func]*FuncInfo
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a module-pass finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	reportf(p.diags, p.Analyzer.Name, p.Fset, pos, format, args...)
+}
+
+// FuncInfo locates one declared function's source.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// IndexFuncs builds the declaration index over the loaded packages.
+func IndexFuncs(pkgs []*Package) map[*types.Func]*FuncInfo {
+	idx := map[*types.Func]*FuncInfo{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = &FuncInfo{Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Callee resolves the *types.Func a call invokes statically: a plain
+// package-level function, a method call, or a qualified import. It
+// returns nil for calls through function values, interface methods
+// resolve to their abstract types.Func (which has no entry in the
+// function index), and built-ins resolve to nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Summaries memoizes one fact per function for bottom-up
+// interprocedural analyses (callee summaries). Of computes a
+// function's summary on first request via the compute callback, which
+// may itself request callee summaries; recursion is cut off by
+// returning the zero summary with ok=false for a function whose
+// summary is still being computed (a conservative fixed point for
+// monotone facts: a recursive cycle contributes nothing extra on the
+// first pass).
+type Summaries[T any] struct {
+	compute func(*types.Func) T
+	memo    map[*types.Func]T
+	active  map[*types.Func]bool
+}
+
+// NewSummaries builds a store around the per-function compute step.
+func NewSummaries[T any](compute func(*types.Func) T) *Summaries[T] {
+	return &Summaries[T]{
+		compute: compute,
+		memo:    map[*types.Func]T{},
+		active:  map[*types.Func]bool{},
+	}
+}
+
+// Of returns fn's summary, computing and caching it on first use.
+// ok=false means fn is currently mid-computation (a recursive call
+// chain) and the zero T was returned instead.
+func (s *Summaries[T]) Of(fn *types.Func) (T, bool) {
+	if v, ok := s.memo[fn]; ok {
+		return v, true
+	}
+	if s.active[fn] {
+		var zero T
+		return zero, false
+	}
+	s.active[fn] = true
+	v := s.compute(fn)
+	delete(s.active, fn)
+	s.memo[fn] = v
+	return v, true
+}
+
+// SuppressionAudit is the accounting over //thedb:nolint comments in
+// a loaded tree: how many suppressions name each analyzer ("*" for
+// the suppress-everything form), and which comments carry no
+// justification text. make lint prints the counts and fails on the
+// unjustified ones — a suppression without a reason is indistinguishable
+// from a silenced bug.
+type SuppressionAudit struct {
+	Counts      map[string]int
+	Unjustified []Diagnostic
+}
+
+// AuditSuppressions scans every file of every package for
+// //thedb:nolint comments and returns the audit.
+func AuditSuppressions(pkgs []*Package) SuppressionAudit {
+	audit := SuppressionAudit{Counts: map[string]int{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//thedb:nolint")
+					if !ok {
+						continue
+					}
+					names := []string{"*"}
+					reason := text
+					if rest, ok := strings.CutPrefix(text, ":"); ok {
+						list, after, _ := strings.Cut(rest, " ")
+						reason = after
+						names = nil
+						for _, n := range strings.Split(list, ",") {
+							if n = strings.TrimSpace(n); n != "" {
+								names = append(names, n)
+							}
+						}
+					}
+					for _, n := range names {
+						audit.Counts[n]++
+					}
+					if strings.TrimSpace(reason) == "" {
+						audit.Unjustified = append(audit.Unjustified, Diagnostic{
+							Analyzer: "nolint-audit",
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Message:  "//thedb:nolint without a justification: state why the finding is safe to suppress after the analyzer list",
+						})
+					}
+				}
+			}
+		}
+	}
+	return audit
+}

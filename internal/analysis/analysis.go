@@ -6,7 +6,10 @@ package analysis
 
 import (
 	"thedb/internal/analysis/ana"
+	"thedb/internal/analysis/atomicdisc"
+	"thedb/internal/analysis/lockorder"
 	"thedb/internal/analysis/metaencap"
+	"thedb/internal/analysis/noalloc"
 	"thedb/internal/analysis/nondet"
 	"thedb/internal/analysis/syncerr"
 	"thedb/internal/analysis/unlockpath"
@@ -15,7 +18,10 @@ import (
 // All returns every registered analyzer, in stable order.
 func All() []*ana.Analyzer {
 	return []*ana.Analyzer{
+		atomicdisc.Analyzer,
+		lockorder.Analyzer,
 		metaencap.Analyzer,
+		noalloc.Analyzer,
 		nondet.Analyzer,
 		syncerr.Analyzer,
 		unlockpath.Analyzer,

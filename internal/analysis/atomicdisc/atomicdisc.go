@@ -1,0 +1,463 @@
+// Package atomicdisc enforces the atomic-access discipline behind
+// every seqlock and published counter in the engine (paper §4.1 and
+// DESIGN.md §11): once any code anywhere in the module accesses a
+// struct field through sync/atomic, that field is an atomic word —
+// every other access must be atomic too, forever. A single plain load
+// of a seqlock word or meta word is a silent torn read under -race
+// only when the schedule cooperates; statically there is no excuse.
+//
+// The analyzer runs module-wide in two passes. Pass one collects the
+// atomic field set: every struct field (or package-level variable)
+// whose address is passed to a sync/atomic function anywhere in the
+// module, plus every field of a sync/atomic type (atomic.Uint64,
+// atomic.Pointer, ...). Pass two flags, across the whole module:
+//
+//   - plain reads and writes of an atomic-accessed field (taking the
+//     address with & is allowed — the pointer consumer decides, and
+//     the w.Inc(&w.Committed) collector idiom depends on it);
+//   - copies of structs that contain atomic state: value parameters
+//     and arguments, value returns, value receivers, assignments from
+//     an existing value, and range-by-value — a copied atomic word is
+//     a fork of the protocol state, and both sides keep "atomically"
+//     updating their own half;
+//   - atomic fields passed by value (a special case of the above that
+//     deserves its own message).
+//
+// The discipline this enforces concretely: the obs seqlock rings, the
+// per-record seqlock snapshots the online checkpointer takes, the
+// server's Dekker-style pending counter, and the metrics collectors
+// all publish through atomic words that plain code must never touch.
+package atomicdisc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thedb/internal/analysis/ana"
+)
+
+// AtomicPkg is the package whose call sites and types define the
+// atomic field set.
+const AtomicPkg = "sync/atomic"
+
+// Analyzer is the atomicdisc pass.
+var Analyzer = &ana.Analyzer{
+	Name:      "atomicdisc",
+	Doc:       "a field accessed via sync/atomic anywhere must be accessed atomically everywhere; structs holding atomics must not be copied (§4.1)",
+	RunModule: runModule,
+}
+
+func runModule(pass *ana.ModulePass) error {
+	fields := collectAtomicFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	structCache := map[types.Type]bool{}
+	for _, pkg := range pass.Pkgs {
+		checkPkg(pass, pkg, fields, structCache)
+	}
+	return nil
+}
+
+// collectAtomicFields returns every *types.Var (struct field or
+// package-level variable) whose address flows into a sync/atomic call
+// somewhere in the module.
+func collectAtomicFields(pass *ana.ModulePass) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := ana.Callee(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != AtomicPkg {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := addressedVar(pkg.Info, arg); v != nil {
+						fields[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// addressedVar resolves &x.f / &x.f[i] / &pkgVar to the struct field
+// or package-level variable being addressed, or nil.
+func addressedVar(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	expr := ast.Unparen(un.X)
+	// Unwrap indexing: &w.PhaseNS[p] addresses field PhaseNS.
+	for {
+		ix, ok := expr.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		expr = ast.Unparen(ix.X)
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj().(*types.Var)
+		}
+		// Qualified package-level var: pkg.Var.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkPkg runs pass two over one package.
+func checkPkg(pass *ana.ModulePass, pkg *ana.Package, fields map[*types.Var]bool, structCache map[types.Type]bool) {
+	info := pkg.Info
+	// allowed marks expression nodes that may name an atomic field
+	// without being a plain access: the operand chain of an & (address
+	// taken for an atomic or pointer-mediated access).
+	allowed := map[ast.Node]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				e := ast.Unparen(un.X)
+				for {
+					allowed[e] = true
+					if sel, ok := e.(*ast.SelectorExpr); ok {
+						allowed[sel.Sel] = true // qualified pkg.Var lands on the Sel ident
+					}
+					if ix, ok := e.(*ast.IndexExpr); ok {
+						e = ast.Unparen(ix.X)
+						continue
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	containsAtomic := func(t types.Type) bool {
+		return typeContainsAtomic(t, fields, structCache, nil)
+	}
+
+	for _, file := range pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				f := sel.Obj().(*types.Var)
+				if !fields[f] || allowed[n] {
+					return true
+				}
+				if w := isWriteTarget(stack, n); w != notAccess {
+					reportPlain(pass, n.Sel.Pos(), fieldOwner(f)+"."+f.Name(), "field", w)
+				}
+			case *ast.Ident:
+				// Package-level atomic words used unqualified (the
+				// qualified pkg.Var form also lands here via Sel).
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok || v.IsField() || !fields[v] || allowed[n] {
+					return true
+				}
+				if len(stack) >= 2 {
+					if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == n {
+						return true // base of a selector, not the var itself
+					}
+				}
+				if w := isWriteTarget(stack, n); w != notAccess {
+					reportPlain(pass, n.Pos(), v.Pkg().Name()+"."+v.Name(), "package-level word", w)
+				}
+			case *ast.FuncDecl:
+				checkFuncSig(pass, pkg, n, containsAtomic)
+			case *ast.AssignStmt:
+				checkAssign(pass, pkg, n, containsAtomic)
+			case *ast.RangeStmt:
+				checkRange(pass, pkg, n, containsAtomic)
+			case *ast.ReturnStmt:
+				checkReturn(pass, pkg, n, containsAtomic)
+			case *ast.CallExpr:
+				checkCallArgs(pass, pkg, n, fields, containsAtomic)
+			}
+			return true
+		})
+	}
+}
+
+type accessKind int
+
+const (
+	notAccess accessKind = iota
+	readAccess
+	writeAccess
+)
+
+// reportPlain emits the plain-access diagnostic.
+func reportPlain(pass *ana.ModulePass, pos token.Pos, name, what string, w accessKind) {
+	verb := "read"
+	if w == writeAccess {
+		verb = "written"
+	}
+	pass.Reportf(pos,
+		"%s %s is accessed with sync/atomic elsewhere; plain %s here is a torn-read/lost-update race — use atomic.Load/Store or take its address for an atomic helper",
+		what, name, verb)
+}
+
+// isWriteTarget classifies how the selector at the top of stack is
+// used: written (assignment LHS, ++/--, compound assign), read (any
+// other value use), or not an access (it is the base of a larger
+// selector, i.e. x.f.g touches g, not f... unless f is loaded by
+// value along the way — field chains through atomic fields are rare
+// enough that the leaf report suffices).
+func isWriteTarget(stack []ast.Node, sel ast.Node) accessKind {
+	// Walk up past parens/index wrappers around the selector.
+	node := sel
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			node = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == node {
+				node = p
+				continue
+			}
+			return readAccess
+		case *ast.SelectorExpr:
+			// x.f.g: the selector under inspection is the base of a
+			// longer chain; the access happens at the leaf.
+			if p.X == node || ast.Unparen(p.X) == node {
+				return notAccess
+			}
+			return readAccess
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == node {
+					return writeAccess
+				}
+			}
+			return readAccess
+		case *ast.IncDecStmt:
+			if ast.Unparen(p.X) == node {
+				return writeAccess
+			}
+			return readAccess
+		default:
+			return readAccess
+		}
+	}
+	return readAccess
+}
+
+// fieldOwner names the struct type declaring f, best-effort.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() == nil {
+		return "?"
+	}
+	// Search the declaring package scope for the named type whose
+	// underlying struct contains f.
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return f.Pkg().Name() + "." + name
+			}
+		}
+	}
+	return f.Pkg().Name()
+}
+
+// typeContainsAtomic reports whether t (a value of it, not a pointer
+// to it) embeds atomic state: a field in the atomic set, a sync/atomic
+// type, recursively through structs and arrays.
+func typeContainsAtomic(t types.Type, fields map[*types.Var]bool, cache map[types.Type]bool, seen map[types.Type]bool) bool {
+	if v, ok := cache[t]; ok {
+		return v
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	result := false
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == AtomicPkg {
+			result = true
+		} else {
+			result = typeContainsAtomic(named.Underlying(), fields, cache, seen)
+		}
+	} else {
+		switch u := t.(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if fields[f] || typeContainsAtomic(f.Type(), fields, cache, seen) {
+					result = true
+					break
+				}
+			}
+		case *types.Array:
+			result = typeContainsAtomic(u.Elem(), fields, cache, seen)
+		}
+	}
+	cache[t] = result
+	return result
+}
+
+// copyMsg is the shared diagnostic tail for struct-copy findings.
+const copyMsg = "copies a struct holding atomic state (the copy forks the protocol word); pass a pointer"
+
+// checkFuncSig flags value parameters, value results and value
+// receivers of atomic-bearing struct types.
+func checkFuncSig(pass *ana.ModulePass, pkg *ana.Package, fd *ast.FuncDecl, containsAtomic func(types.Type) bool) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if containsAtomic(tv.Type) {
+				pass.Reportf(field.Type.Pos(), "%s %s %s", what, tv.Type.String(), copyMsg)
+			}
+		}
+	}
+	check(fd.Recv, "value receiver of type")
+	check(fd.Type.Params, "value parameter of type")
+	// Value results are deliberately not flagged at the signature:
+	// returning a freshly built value (a snapshot, a zero value) is
+	// legitimate; checkReturn flags the returns that copy live state.
+}
+
+// checkAssign flags assignments that copy an existing atomic-bearing
+// value (fresh composite literals and zero values are fine: nothing
+// has been atomically touched yet; and calls are flagged at the
+// callee's value-return, not at every call site).
+func checkAssign(pass *ana.ModulePass, pkg *ana.Package, as *ast.AssignStmt, containsAtomic func(types.Type) bool) {
+	// A copy into the blank identifier discards the forked state
+	// immediately; only real destinations are flagged.
+	allBlank := true
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+			allBlank = false
+			break
+		}
+	}
+	if allBlank {
+		return
+	}
+	for _, rhs := range as.Rhs {
+		if !copiesValue(rhs) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[rhs]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if containsAtomic(tv.Type) {
+			pass.Reportf(rhs.Pos(), "assignment %s", copyMsg)
+		}
+	}
+}
+
+// checkRange flags range-by-value over atomic-bearing element types.
+func checkRange(pass *ana.ModulePass, pkg *ana.Package, rs *ast.RangeStmt, containsAtomic func(types.Type) bool) {
+	if rs.Value == nil {
+		return
+	}
+	var t types.Type
+	if tv, ok := pkg.Info.Types[rs.Value]; ok && tv.Type != nil {
+		t = tv.Type
+	} else if id, ok := ast.Unparen(rs.Value).(*ast.Ident); ok {
+		// A := range defines the value var; its type lives in Defs.
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t != nil && containsAtomic(t) {
+		pass.Reportf(rs.Value.Pos(), "range value %s", copyMsg)
+	}
+}
+
+// checkReturn flags returning an atomic-bearing struct by value.
+func checkReturn(pass *ana.ModulePass, pkg *ana.Package, rs *ast.ReturnStmt, containsAtomic func(types.Type) bool) {
+	for _, res := range rs.Results {
+		if !copiesValue(res) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[res]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if containsAtomic(tv.Type) {
+			pass.Reportf(res.Pos(), "return %s", copyMsg)
+		}
+	}
+}
+
+// checkCallArgs flags atomic-bearing structs (and atomic fields
+// themselves) passed by value.
+func checkCallArgs(pass *ana.ModulePass, pkg *ana.Package, call *ast.CallExpr, fields map[*types.Var]bool, containsAtomic func(types.Type) bool) {
+	for _, arg := range call.Args {
+		if !copiesValue(arg) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && fields[s.Obj().(*types.Var)] {
+				// Plain-read check reports this one too; the by-value
+				// message is the more precise of the two.
+				continue
+			}
+		}
+		if containsAtomic(tv.Type) {
+			pass.Reportf(arg.Pos(), "argument %s", copyMsg)
+		}
+	}
+}
+
+// copiesValue reports whether evaluating e yields a copy of an
+// existing value (as opposed to a fresh composite literal, a call
+// result, a conversion, or a dereference target that was already
+// reported at its source).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

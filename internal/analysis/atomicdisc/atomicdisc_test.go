@@ -1,0 +1,12 @@
+package atomicdisc_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/atomicdisc"
+)
+
+func TestAtomicdisc(t *testing.T) {
+	anatest.Run(t, "testdata", atomicdisc.Analyzer)
+}

@@ -1,0 +1,96 @@
+// Fixture: a seqlock-style publication word (seq, function-style
+// atomics) plus an atomic.Uint64 counter, exercising every atomicdisc
+// rule from both the declaring package and a foreign one (see
+// ../other).
+package obsx
+
+import "sync/atomic"
+
+// Ring is the guarded struct: seq is accessed via sync/atomic (below),
+// n is of an atomic type. Both make Ring atomic-bearing.
+type Ring struct {
+	seq  uint64
+	n    atomic.Uint64
+	data [4]uint64
+}
+
+// Plain is a struct with no atomic state: copying it is fine.
+type Plain struct {
+	a, b uint64
+}
+
+// Publish is the sanctioned writer: every seq access goes through
+// sync/atomic, which is what marks the field.
+func (r *Ring) Publish(v uint64) {
+	atomic.StoreUint64(&r.seq, 0)
+	r.data[0] = v
+	atomic.StoreUint64(&r.seq, atomic.LoadUint64(&r.seq)+2)
+	r.n.Add(1)
+}
+
+// BadRead loads the seqlock word without atomics: a torn read.
+func (r *Ring) BadRead() uint64 {
+	return r.seq // want `field obsx\.Ring\.seq is accessed with sync/atomic elsewhere; plain read`
+}
+
+// BadWrite resets the word with a plain store: a lost update.
+func (r *Ring) BadWrite() {
+	r.seq = 0 // want `field obsx\.Ring\.seq is accessed with sync/atomic elsewhere; plain written`
+}
+
+// BadIncrement is a read-modify-write race in one token.
+func (r *Ring) BadIncrement() {
+	r.seq++ // want `field obsx\.Ring\.seq is accessed with sync/atomic elsewhere; plain written`
+}
+
+// TakeAddr is allowed: passing the address delegates the access mode
+// to the consumer (the collector Inc(&w.Committed) idiom).
+func (r *Ring) TakeAddr(f func(*uint64)) {
+	f(&r.seq)
+}
+
+// CopyParam receives a Ring by value: the copy forks both words.
+func CopyParam(r Ring) uint64 { // want `value parameter of type .*Ring copies a struct holding atomic state`
+	return r.data[0]
+}
+
+// CopyReturn returns a Ring by value.
+func CopyReturn(r *Ring) Ring {
+	return *r // want `return copies a struct holding atomic state`
+}
+
+// CopyReceiver binds a Ring by value.
+func (r Ring) CopyReceiver() {} // want `value receiver of type .*Ring copies a struct holding atomic state`
+
+// CopyAssign duplicates an existing Ring value.
+func CopyAssign(p *Ring) {
+	local := *p // want `assignment copies a struct holding atomic state`
+	_ = local
+	fresh := Ring{} // a fresh zero value carries no shared state: allowed
+	_ = fresh
+}
+
+// CopyRange iterates a Ring slice by value.
+func CopyRange(rs []Ring) {
+	for _, r := range rs { // want `range value copies a struct holding atomic state`
+		_ = r
+	}
+}
+
+// PassAtomicByValue hands the atomic counter itself to a callee.
+func PassAtomicByValue(r *Ring) {
+	sink(r.n) // want `argument copies a struct holding atomic state`
+}
+
+func sink(v atomic.Uint64) uint64 { // want `value parameter of type sync/atomic\.Uint64 copies`
+	return v.Load()
+}
+
+// PlainCopies shows the rules stay quiet on atomic-free structs.
+func PlainCopies(p Plain, ps []Plain) Plain {
+	q := p
+	for _, e := range ps {
+		q = e
+	}
+	return q
+}

@@ -1,0 +1,26 @@
+// Fixture: the discipline is module-wide — a field marked atomic by
+// its owning package stays atomic when a different package touches it.
+package other
+
+import (
+	"sync/atomic"
+
+	"thedb/internal/obsx"
+)
+
+// ForeignRead reads the seqlock word from outside the owning package.
+func ForeignRead(r *obsx.Ring) uint64 {
+	return r.BadRead()
+}
+
+// pending mirrors the server's Dekker-style counter: a package-level
+// word accessed via sync/atomic...
+var pending int64
+
+// Admit is the sanctioned path.
+func Admit() { atomic.AddInt64(&pending, 1) }
+
+// Leak reads it plainly.
+func Leak() int64 {
+	return pending // want `is accessed with sync/atomic elsewhere; plain read`
+}

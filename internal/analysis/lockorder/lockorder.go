@@ -1,0 +1,754 @@
+// Package lockorder builds a module-wide lock-acquisition order graph
+// and reports cycles: the static counterpart of the paper's deadlock
+// argument (§4.2.1). The healing engine avoids deadlock by never
+// blocking while holding — validation uses no-wait TryLock, and the
+// one blocking acquisition (the sorted commit loop) is safe only
+// because every thread locks records in one global Addr order. This
+// analyzer mechanizes the rest of the argument for the conventional
+// mutexes around the engine (WAL rotation, server admission, epoch
+// lifecycle, checkpoint sets): if package A's code can block on lock
+// Y while holding lock X, and package B's code can block on X while
+// holding Y, two threads can wait on each other forever.
+//
+// Lock classes are static names, not runtime instances:
+//
+//   - a sync.Mutex/RWMutex struct field is "pkg.Type.field"
+//     (wal.WorkerLog.mu), an indexed slice of mutexes collapses to its
+//     field (det.Engine.partitions), a package-level mutex is
+//     "pkg.var", and an embedded mutex is its carrier "pkg.Type";
+//   - a module-defined lock protocol type — a named type with both an
+//     acquire method (Lock/Try*) and a release (Unlock/RUnlock/
+//     WUnlock), i.e. storage.Record and storage.RWLock — is one class
+//     per type ("storage.Record"): all records share an order.
+//
+// Edges X → Y mean "some path blocks on Y while holding X". Only
+// blocking acquisitions (Lock, RLock) create edges; Try* acquisitions
+// join the held set (they are held while later acquisitions block)
+// but can never be the waiting end of a deadlock. The walk is
+// interprocedural via ana.Summaries: each function's summary records
+// the classes it may transitively block on, the locks it returns
+// still holding (acquire-in-helper), and the caller-held locks it
+// releases (release-in-helper), so acquisitions propagate across
+// call chains until a `go` statement — a goroutine starts with an
+// empty held set, and the spawner's locks are not "held" inside it
+// in the blocking-wait sense this graph models.
+//
+// Loop bodies are walked twice so that "acquire one per iteration"
+// patterns produce the self-edge they deserve: holding one record
+// while blocking on the next is a deadlock unless globally ordered,
+// which is exactly the //thedb:nolint justification the two sorted
+// loops in the real tree carry.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"thedb/internal/analysis/ana"
+)
+
+// Analyzer is the lockorder module pass.
+var Analyzer = &ana.Analyzer{
+	Name:      "lockorder",
+	Doc:       "module-wide lock acquisition graph must be acyclic: blocking on Y while holding X and vice versa deadlocks (§4.2.1)",
+	RunModule: runModule,
+}
+
+type lockKind int
+
+const (
+	kindBlock lockKind = iota
+	kindTry
+	kindRelease
+)
+
+// methodKinds classifies lock-protocol method names.
+var methodKinds = map[string]lockKind{
+	"Lock": kindBlock, "RLock": kindBlock, "WLock": kindBlock,
+	"TryLock": kindTry, "TryRLock": kindTry, "TryWLock": kindTry, "TryUpgrade": kindTry,
+	"Unlock": kindRelease, "RUnlock": kindRelease, "WUnlock": kindRelease,
+}
+
+var acquireNames = []string{"Lock", "RLock", "WLock", "TryLock", "TryRLock", "TryWLock", "TryUpgrade"}
+var releaseNames = []string{"Unlock", "RUnlock", "WUnlock"}
+
+// edgeInfo is the witness for one graph edge: where the blocking
+// acquisition happens and which function contains it. The smallest
+// source position is kept so reports are deterministic.
+type edgeInfo struct {
+	pos token.Pos
+	fn  string
+}
+
+type graph struct {
+	fset  *token.FileSet
+	edges map[string]map[string]edgeInfo
+}
+
+func (g *graph) add(from, to string, pos token.Pos, fn string) {
+	m := g.edges[from]
+	if m == nil {
+		m = map[string]edgeInfo{}
+		g.edges[from] = m
+	}
+	if old, ok := m[to]; !ok || g.less(pos, old.pos) {
+		m[to] = edgeInfo{pos: pos, fn: fn}
+	}
+}
+
+func (g *graph) less(a, b token.Pos) bool {
+	pa, pb := g.fset.Position(a), g.fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// summary is one function's interprocedural fact: the lock classes it
+// may transitively block on, the classes it returns still holding
+// (counted — a loop may stack several), and the caller-held classes
+// it releases.
+type summary struct {
+	acquires    map[string]bool
+	netHeld     map[string]int
+	netReleased map[string]bool
+}
+
+func newSummary() *summary {
+	return &summary{
+		acquires:    map[string]bool{},
+		netHeld:     map[string]int{},
+		netReleased: map[string]bool{},
+	}
+}
+
+func runModule(pass *ana.ModulePass) error {
+	g := &graph{fset: pass.Fset, edges: map[string]map[string]edgeInfo{}}
+	var sums *ana.Summaries[*summary]
+	sums = ana.NewSummaries(func(fn *types.Func) *summary {
+		info := pass.Funcs[fn]
+		sum := newSummary()
+		if info == nil || info.Decl.Body == nil {
+			return sum
+		}
+		w := &walker{pkg: info.Pkg, funcs: pass.Funcs, sums: sums, g: g,
+			fnName: info.Pkg.Types.Name() + "." + fn.Name()}
+		held := map[string]int{}
+		w.walkBody(info.Decl.Body, held, sum)
+		for c, n := range held {
+			if n > 0 {
+				sum.netHeld[c] = n
+			}
+		}
+		return sum
+	})
+	// Force every declared function's summary in deterministic source
+	// order; the walks populate the shared graph as a side effect.
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					sums.Of(fn)
+				}
+			}
+		}
+	}
+	reportCycles(pass, g)
+	return nil
+}
+
+// walker carries one function's traversal state. Statements are
+// visited in syntactic order with a held-class multiset; branches
+// fork the multiset and re-join with a pointwise max (a lock possibly
+// held is held, for edge purposes).
+type walker struct {
+	pkg    *ana.Package
+	funcs  map[*types.Func]*ana.FuncInfo
+	sums   *ana.Summaries[*summary]
+	g      *graph
+	fnName string
+}
+
+// walkBody walks one function or closure body, applying its deferred
+// releases at the end (a deferred release drops every held count of
+// its class: the common form is a loop draining everything acquired).
+func (w *walker) walkBody(body *ast.BlockStmt, held map[string]int, sum *summary) {
+	var deferred []string
+	w.walkStmt(body, held, sum, &deferred)
+	for _, c := range deferred {
+		if held[c] > 0 {
+			held[c] = 0
+		} else {
+			sum.netReleased[c] = true
+		}
+	}
+}
+
+// walkDetached analyzes a body that runs on its own goroutine (or at
+// an unknown time): edges inside it are real, but it starts holding
+// nothing, and nothing it does joins the spawner's held set.
+func (w *walker) walkDetached(body *ast.BlockStmt) {
+	w.walkBody(body, map[string]int{}, newSummary())
+}
+
+func copyHeld(h map[string]int) map[string]int {
+	c := make(map[string]int, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// joinHeld merges branch exits pointwise-max into dst.
+func joinHeld(dst map[string]int, branches ...map[string]int) {
+	for _, b := range branches {
+		for k, v := range b {
+			if v > dst[k] {
+				dst[k] = v
+			}
+		}
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt, held map[string]int, sum *summary, deferred *[]string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st, held, sum, deferred)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held, sum, deferred)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held, sum, deferred)
+		// `if x.TryLock() { ... }`: the lock is held only on the
+		// success branch; joining it unconditionally would leak a
+		// phantom hold past the if.
+		skip, class, negated := w.tryCond(s.Cond)
+		w.walkExpr(s.Cond, held, sum, skip)
+		hThen, hElse := copyHeld(held), copyHeld(held)
+		if skip != nil {
+			if negated {
+				hElse[class]++
+			} else {
+				hThen[class]++
+			}
+		}
+		w.walkStmt(s.Body, hThen, sum, deferred)
+		if s.Else != nil {
+			w.walkStmt(s.Else, hElse, sum, deferred)
+		}
+		for k := range held {
+			delete(held, k)
+		}
+		joinHeld(held, hThen, hElse)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held, sum, deferred)
+		w.walkExpr(s.Cond, held, sum, nil)
+		pre := copyHeld(held)
+		// Twice: iteration i+1 runs with iteration i's acquisitions
+		// held, which is what surfaces acquire-per-iteration
+		// self-edges.
+		for i := 0; i < 2; i++ {
+			w.walkStmt(s.Body, held, sum, deferred)
+			w.walkStmt(s.Post, held, sum, deferred)
+			w.walkExpr(s.Cond, held, sum, nil)
+		}
+		joinHeld(held, pre)
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, held, sum, nil)
+		pre := copyHeld(held)
+		for i := 0; i < 2; i++ {
+			w.walkStmt(s.Body, held, sum, deferred)
+		}
+		joinHeld(held, pre)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held, sum, deferred)
+		w.walkExpr(s.Tag, held, sum, nil)
+		w.walkClauses(s.Body, held, sum, deferred)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held, sum, deferred)
+		w.walkStmt(s.Assign, held, sum, deferred)
+		w.walkClauses(s.Body, held, sum, deferred)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body, held, sum, deferred)
+	case *ast.DeferStmt:
+		w.walkDefer(s.Call, held, sum, deferred)
+	case *ast.GoStmt:
+		// Goroutine boundary: arguments evaluate on the spawning
+		// thread, but the call itself runs concurrently with an empty
+		// held set — the spawner's locks are not blocked-on inside it
+		// and its acquisitions never join the spawner.
+		for _, a := range s.Call.Args {
+			w.walkExpr(a, held, sum, nil)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkDetached(lit.Body)
+		}
+	case *ast.BranchStmt:
+	default:
+		w.walkExpr(s, held, sum, nil)
+	}
+}
+
+func (w *walker) walkClauses(body *ast.BlockStmt, held map[string]int, sum *summary, deferred *[]string) {
+	entry := copyHeld(held)
+	exits := []map[string]int{entry}
+	for _, cl := range body.List {
+		h := copyHeld(entry)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.walkExpr(e, h, sum, nil)
+			}
+			for _, st := range cl.Body {
+				w.walkStmt(st, h, sum, deferred)
+			}
+		case *ast.CommClause:
+			w.walkStmt(cl.Comm, h, sum, deferred)
+			for _, st := range cl.Body {
+				w.walkStmt(st, h, sum, deferred)
+			}
+		}
+		exits = append(exits, h)
+	}
+	for k := range held {
+		delete(held, k)
+	}
+	joinHeld(held, exits...)
+}
+
+// walkDefer records a deferred statement's releases so walkBody can
+// apply them at exit. Deferred closures are scanned for release calls
+// only — the `defer func() { unlock everything }()` idiom.
+func (w *walker) walkDefer(call *ast.CallExpr, held map[string]int, sum *summary, deferred *[]string) {
+	for _, a := range call.Args {
+		w.walkExpr(a, held, sum, nil)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if class, kind, ok := w.classify(c); ok && kind == kindRelease {
+				*deferred = append(*deferred, class)
+			} else if s, ok := w.calleeSummary(c); ok {
+				for rc := range s.netReleased {
+					*deferred = append(*deferred, rc)
+				}
+			}
+			return true
+		})
+		return
+	}
+	if class, kind, ok := w.classify(call); ok {
+		if kind == kindRelease {
+			*deferred = append(*deferred, class)
+		}
+		return
+	}
+	if s, ok := w.calleeSummary(call); ok {
+		for rc := range s.netReleased {
+			*deferred = append(*deferred, rc)
+		}
+	}
+}
+
+// walkExpr visits an expression (or simple statement) in order,
+// handling lock-protocol calls, module calls, and function literals.
+// skip, when non-nil, is a try-acquire call whose held-join the
+// caller applies branch-sensitively (tryCond).
+func (w *walker) walkExpr(n ast.Node, held map[string]int, sum *summary, skip *ast.CallExpr) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Not immediately called (that case is handled below):
+			// runs at an unknown time, with an unknown held set.
+			w.walkDetached(x.Body)
+			return false
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs here, inheriting
+				// the current held set.
+				for _, a := range x.Args {
+					w.walkExpr(a, held, sum, skip)
+				}
+				w.walkBody(lit.Body, held, sum)
+				return false
+			}
+			if x != skip {
+				w.handleCall(x, held, sum)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (w *walker) handleCall(call *ast.CallExpr, held map[string]int, sum *summary) {
+	if class, kind, ok := w.classify(call); ok {
+		switch kind {
+		case kindBlock:
+			for h, n := range held {
+				if n > 0 {
+					w.g.add(h, class, call.Pos(), w.fnName)
+				}
+			}
+			sum.acquires[class] = true
+			held[class]++
+		case kindTry:
+			held[class]++
+		case kindRelease:
+			if held[class] > 0 {
+				held[class]--
+			} else {
+				sum.netReleased[class] = true
+			}
+		}
+		return
+	}
+	s, ok := w.calleeSummary(call)
+	if !ok {
+		return
+	}
+	// The callee may block on everything in its transitive acquire
+	// set while our held locks stay held.
+	for h, n := range held {
+		if n == 0 {
+			continue
+		}
+		for a := range s.acquires {
+			w.g.add(h, a, call.Pos(), w.fnName)
+		}
+	}
+	for c := range s.acquires {
+		sum.acquires[c] = true
+	}
+	for c := range s.netReleased {
+		if held[c] > 0 {
+			held[c] = 0
+		} else {
+			sum.netReleased[c] = true
+		}
+	}
+	for c, n := range s.netHeld {
+		held[c] += n
+	}
+}
+
+// calleeSummary resolves a call to a module-declared function and
+// returns its summary. ok=false for externals, dynamic calls, and
+// recursion in progress.
+func (w *walker) calleeSummary(call *ast.CallExpr) (*summary, bool) {
+	fn := ana.Callee(w.pkg.Info, call)
+	if fn == nil {
+		return nil, false
+	}
+	if w.funcs[fn] == nil {
+		return nil, false
+	}
+	s, ok := w.sums.Of(fn)
+	if !ok || s == nil {
+		return nil, false
+	}
+	return s, true
+}
+
+// tryCond recognizes `if x.TryLock()` and `if !x.TryLock()` so the
+// acquisition can be credited to the success branch only.
+func (w *walker) tryCond(cond ast.Expr) (skip *ast.CallExpr, class string, negated bool) {
+	if cond == nil {
+		return nil, "", false
+	}
+	e := ast.Unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		e = ast.Unparen(u.X)
+		negated = true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	c, kind, ok := w.classify(call)
+	if !ok || kind != kindTry {
+		return nil, "", false
+	}
+	return call, c, negated
+}
+
+// classify resolves a call to a lock-protocol operation and its
+// static lock class.
+func (w *walker) classify(call *ast.CallExpr) (string, lockKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	kind, ok := methodKinds[sel.Sel.Name]
+	if !ok {
+		return "", 0, false
+	}
+	fn, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", 0, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", 0, false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg().Path() == "sync" {
+		if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+			return "", 0, false
+		}
+		class, ok := w.syncClass(sel.X)
+		return class, kind, ok
+	}
+	// A named type carrying a full acquire+release protocol (Record,
+	// RWLock) is one class per type: all its instances share an order.
+	if !isLockProtocol(named) {
+		return "", 0, false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), kind, true
+}
+
+// syncClass names the lock class of a sync mutex from its receiver
+// expression: struct fields by owner type, package vars by name,
+// embedded mutexes by carrier type. Plain local mutexes have no
+// module-wide identity and are skipped.
+func (w *walker) syncClass(recv ast.Expr) (string, bool) {
+	recv = ast.Unparen(recv)
+	for {
+		if ix, ok := recv.(*ast.IndexExpr); ok {
+			recv = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := w.pkg.Info.Types[r.X]; ok {
+			if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + r.Sel.Name, true
+			}
+		}
+		if v, ok := w.pkg.Info.Uses[r.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := w.pkg.Info.Uses[r].(*types.Var); ok {
+			if isPkgLevel(v) {
+				return v.Pkg().Name() + "." + v.Name(), true
+			}
+			if named := namedOf(v.Type()); named != nil &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func hasAnyMethod(named *types.Named, names []string) bool {
+	for _, n := range names {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), n)
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func isLockProtocol(named *types.Named) bool {
+	return hasAnyMethod(named, acquireNames) && hasAnyMethod(named, releaseNames)
+}
+
+// reportCycles finds strongly connected components of the class graph
+// and reports one diagnostic per cycle: self-edges individually, and
+// one witness path per larger component, anchored at the edge leaving
+// the lexicographically smallest class so suppressions are stable.
+func reportCycles(pass *ana.ModulePass, g *graph) {
+	var nodes []string
+	seen := map[string]bool{}
+	for from, m := range g.edges {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range m {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	for _, n := range nodes {
+		if e, ok := g.edges[n][n]; ok {
+			pass.Reportf(e.pos,
+				"lock-order cycle: %s → %s: a second %s is blocking-acquired while one is held (in %s); deadlocks unless every thread acquires in one global order (§4.2.1)",
+				n, n, n, e.fn)
+		}
+	}
+
+	for _, comp := range sccs(nodes, g) {
+		if len(comp) < 2 {
+			continue
+		}
+		sort.Strings(comp)
+		cycle := witnessCycle(comp, g)
+		if len(cycle) == 0 {
+			continue
+		}
+		var path, detail string
+		for i, from := range cycle {
+			to := cycle[(i+1)%len(cycle)]
+			e := g.edges[from][to]
+			path += from + " → "
+			if detail != "" {
+				detail += "; "
+			}
+			detail += fmt.Sprintf("%s → %s in %s at %s", from, to, e.fn, pass.Fset.Position(e.pos))
+		}
+		path += cycle[0]
+		first := g.edges[cycle[0]][cycle[1]]
+		pass.Reportf(first.pos,
+			"lock-order cycle: %s (%s); impose a single global acquisition order (§4.2.1)",
+			path, detail)
+	}
+}
+
+// sccs is Tarjan's algorithm over the sorted node list (iterative
+// enough for our graph sizes via recursion).
+func sccs(nodes []string, g *graph) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for to := range g.edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, to := range succs {
+			if _, ok := index[to]; !ok {
+				strongconnect(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return comps
+}
+
+// witnessCycle finds a shortest cycle through the component's
+// smallest class via BFS restricted to the component.
+func witnessCycle(comp []string, g *graph) []string {
+	in := map[string]bool{}
+	for _, n := range comp {
+		in[n] = true
+	}
+	start := comp[0]
+	parent := map[string]string{}
+	dist := map[string]int{start: 0}
+	queue := []string{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var succs []string
+		for to := range g.edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, to := range succs {
+			if !in[to] {
+				continue
+			}
+			if to == start {
+				if v == start {
+					continue // self-edges are reported separately
+				}
+				// Closed the loop: path start..v, then edge back.
+				var rev []string
+				for at := v; ; at = parent[at] {
+					rev = append(rev, at)
+					if at == start {
+						break
+					}
+				}
+				cycle := make([]string, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				return cycle
+			}
+			if _, ok := dist[to]; !ok {
+				dist[to] = dist[v] + 1
+				parent[to] = v
+				queue = append(queue, to)
+			}
+		}
+	}
+	return nil
+}

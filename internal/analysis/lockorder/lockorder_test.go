@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	anatest.Run(t, "testdata", lockorder.Analyzer)
+}

@@ -1,0 +1,35 @@
+// Fixture: a helper that releases its caller's lock (netReleased) must
+// drop the class from the caller's held set. If it didn't, Drop would
+// contribute a phantom N → P edge, Back's real P → N edge would close
+// a cycle, and this package — which must stay diagnostic-free — would
+// fail the test.
+package handoff
+
+import "sync"
+
+type N struct{ mu sync.Mutex }
+type P struct{ mu sync.Mutex }
+
+// acquireN hands the lock back to the caller still held.
+func acquireN(n *N) { n.mu.Lock() }
+
+// releaseN releases a lock the caller holds.
+func releaseN(n *N) { n.mu.Unlock() }
+
+// Drop holds N only between the two helper calls: by the time P is
+// acquired, nothing is held and no edge is recorded.
+func Drop(n *N, p *P) {
+	acquireN(n)
+	releaseN(n)
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// Back acquires P → N; with Drop clean this is the only edge between
+// the two classes, so the graph stays acyclic.
+func Back(n *N, p *P) {
+	p.mu.Lock()
+	acquireN(n)
+	releaseN(n)
+	p.mu.Unlock()
+}

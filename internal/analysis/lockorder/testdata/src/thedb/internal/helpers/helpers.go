@@ -1,0 +1,44 @@
+// Fixture: interprocedural propagation. The L → M edge exists only if
+// the analyzer carries AcquireL's still-held lock back to its caller
+// (netHeld), and the M → L edge exists only if lockL's blocking
+// acquisition propagates up through the call in Reverse (transitive
+// acquire summary). Breaking either mechanism makes the cycle — and
+// the test — disappear.
+package helpers
+
+import "sync"
+
+type L struct{ mu sync.Mutex }
+type M struct{ mu sync.Mutex }
+
+// AcquireL locks l and returns holding it: the caller releases.
+func AcquireL(l *L) {
+	l.mu.Lock()
+}
+
+// ReleaseL releases a lock its caller holds.
+func ReleaseL(l *L) {
+	l.mu.Unlock()
+}
+
+// lockL acquires and releases internally; its transitive acquire set
+// is what Reverse's call site contributes edges from.
+func lockL(l *L) {
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// UseBoth blocks on M while holding the lock AcquireL handed back.
+func UseBoth(l *L, m *M) {
+	AcquireL(l)
+	m.mu.Lock() // want `lock-order cycle: helpers\.L\.mu → helpers\.M\.mu → helpers\.L\.mu`
+	m.mu.Unlock()
+	ReleaseL(l)
+}
+
+// Reverse blocks (via lockL) on L while holding M: the reverse edge.
+func Reverse(l *L, m *M) {
+	m.mu.Lock()
+	lockL(l)
+	m.mu.Unlock()
+}

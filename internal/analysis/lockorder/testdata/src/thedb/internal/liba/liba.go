@@ -1,0 +1,30 @@
+// Fixture: one half of a cross-package lock-order cycle. ForwardAB
+// blocks on B while holding A; libb closes the loop in the other
+// direction. The diagnostic lands on the edge leaving the smallest
+// class (A → B, below).
+package liba
+
+import "sync"
+
+// A and B are two independently-locked structures.
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }
+
+// ForwardAB acquires in A → B order.
+func ForwardAB(a *A, b *B) {
+	a.Mu.Lock()
+	b.Mu.Lock() // want `lock-order cycle: liba\.A\.Mu → liba\.B\.Mu → liba\.A\.Mu`
+	b.Mu.Unlock()
+	a.Mu.Unlock()
+}
+
+// Nested acquisitions of unrelated classes create edges but no cycle.
+type C struct{ Mu sync.Mutex }
+
+// ForwardAC is fine: A → C has no reverse edge anywhere.
+func ForwardAC(a *A, c *C) {
+	a.Mu.Lock()
+	c.Mu.Lock()
+	c.Mu.Unlock()
+	a.Mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Fixture: the other half of the cross-package cycle — the analyzer
+// must see B → A here and join it with liba's A → B, which is what
+// makes the check module-wide rather than per-package.
+package libb
+
+import (
+	"sync"
+
+	"thedb/internal/liba"
+)
+
+// Back acquires in B → A order: combined with liba.ForwardAB this is
+// the classic two-thread deadlock. The cycle diagnostic is anchored in
+// liba (smallest class), so no want comment here.
+func Back(a *liba.A, b *liba.B) {
+	b.Mu.Lock()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}
+
+// Guarded is safe: the inner acquisition is a try-lock, which cannot
+// block and therefore cannot be the waiting end of a deadlock.
+func Guarded(a *liba.A, b *liba.B) {
+	b.Mu.Lock()
+	if a.Mu.TryLock() {
+		a.Mu.Unlock()
+	}
+	b.Mu.Unlock()
+}
+
+var _ sync.Locker = (*sync.Mutex)(nil)

@@ -1,0 +1,31 @@
+// Fixture: instance-order hazards within one class. Blocking on a
+// second R while holding the first is a deadlock unless every thread
+// agrees on a global order — the self-edge the sorted commit loop in
+// the real tree suppresses with a justification. No-wait TryLock over
+// the same pattern is clean: it can never be the waiting side.
+package selfloop
+
+import "sync"
+
+type R struct{ mu sync.Mutex }
+type S struct{ mu sync.Mutex }
+
+// LockAll acquires one R per iteration while holding the previous
+// ones.
+func LockAll(rs []*R) {
+	for _, r := range rs {
+		r.mu.Lock() // want `lock-order cycle: selfloop\.R\.mu → selfloop\.R\.mu`
+	}
+	for _, r := range rs {
+		r.mu.Unlock()
+	}
+}
+
+// TryAll polls each S without ever blocking: no self-edge.
+func TryAll(ss []*S) {
+	for _, s := range ss {
+		if s.mu.TryLock() {
+			s.mu.Unlock()
+		}
+	}
+}

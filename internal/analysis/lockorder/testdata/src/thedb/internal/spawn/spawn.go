@@ -1,0 +1,38 @@
+// Fixture: the goroutine boundary. Spawn launches work that blocks on
+// Y while the spawner holds X, but the goroutine has its own empty
+// held set — the spawner is not *waiting* on Y, so there is no X → Y
+// deadlock edge. Reverse provides the Y → X edge; if propagation
+// leaked across the `go` statement the analyzer would report a false
+// X → Y → X cycle and this package would fail the test.
+package spawn
+
+import "sync"
+
+type X struct{ mu sync.Mutex }
+type Y struct{ mu sync.Mutex }
+
+// lockY blocks on Y.
+func lockY(y *Y) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// Spawn holds X while handing Y-work to goroutines — both the named
+// helper form and the closure form.
+func Spawn(x *X, y *Y) {
+	x.mu.Lock()
+	go lockY(y)
+	go func() {
+		y.mu.Lock()
+		y.mu.Unlock()
+	}()
+	x.mu.Unlock()
+}
+
+// Reverse blocks on X while holding Y.
+func Reverse(x *X, y *Y) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"thedb/internal/analysis/anatest"
+	"thedb/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	anatest.Run(t, "testdata", noalloc.Analyzer)
+}

@@ -1,0 +1,19 @@
+// Package hotsub is the cross-package callee of hotpath.BadCross: it
+// carries no //thedb:noalloc annotation of its own, so any diagnostic
+// in here proves the walk crossed the package boundary from the
+// annotated root.
+package hotsub
+
+// Fill allocates; reached from hotpath.BadCross.
+func Fill(n int) []uint64 {
+	out := make([]uint64, n) // want `make allocates in a //thedb:noalloc path \(root hotpath\.BadCross\)`
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// Unreached allocates but is never called from an annotated root.
+func Unreached() []byte {
+	return make([]byte, 8)
+}

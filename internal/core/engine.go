@@ -409,14 +409,15 @@ func (e *Engine) Workers() int { return len(e.workers) }
 func (e *Engine) Metrics(wall time.Duration) *metrics.Aggregate {
 	ws := make([]*metrics.Worker, len(e.workers))
 	for i, w := range e.workers {
-		// Watchdog trips are counted by the epoch advancer, not the
-		// worker (the worker is by definition stuck when one fires);
-		// fold them into a copy so ResetMetrics stays race-free.
-		wm := w.m
-		wm.WatchdogTrips += e.epoch.Trips(i)
-		ws[i] = &wm
+		ws[i] = &w.m
 	}
 	a := metrics.Merge(wall, ws)
+	// Watchdog trips are counted by the epoch advancer, not the
+	// worker (the worker is by definition stuck when one fires); fold
+	// them into the aggregate so ResetMetrics stays race-free.
+	for i := range e.workers {
+		a.WatchdogTrips += e.epoch.Trips(i)
+	}
 	a.Epoch = e.epoch.Current()
 	e.fillEngineMetrics(a)
 	return a
@@ -434,13 +435,13 @@ func (e *Engine) LiveMetrics() *metrics.Aggregate {
 	if s := e.startNS.Load(); s != 0 {
 		wall = time.Duration(time.Now().UnixNano() - s)
 	}
-	ws := make([]*metrics.Worker, len(e.workers))
+	snaps := make([]metrics.Counters, len(e.workers))
 	for attempt := 0; ; attempt++ {
 		ep := e.epoch.Current()
 		for i, w := range e.workers {
-			wm := w.m.Snapshot()
-			wm.WatchdogTrips += e.epoch.Trips(i)
-			ws[i] = &wm
+			c := w.m.Snapshot()
+			c.WatchdogTrips += e.epoch.Trips(i)
+			snaps[i] = c
 		}
 		// Epoch consistency: a snapshot spanning an epoch advance
 		// mixes pre- and post-advance counters; retry a few times,
@@ -449,7 +450,7 @@ func (e *Engine) LiveMetrics() *metrics.Aggregate {
 		if e.epoch.Current() != ep && attempt < 3 {
 			continue
 		}
-		a := metrics.Merge(wall, ws)
+		a := metrics.MergeSnapshots(wall, snaps)
 		a.Epoch = ep
 		e.fillEngineMetrics(a)
 		return a

@@ -40,6 +40,7 @@ func (t *Txn) validateHealing() error {
 		if el.removed {
 			continue
 		}
+		//thedb:nolint:lockorder safe by construction: sortFor imposed the global Addr/tree order above, so every thread stacks record locks in the same sequence (§4.2.1)
 		t.lockElement(el)
 		if el.isInsert {
 			// §4.7.1 scenario 3: another transaction committed into

@@ -49,6 +49,8 @@ func (w *Worker) Metrics() *metrics.Worker { return &w.m }
 // (Options.Recorder nil, the default) the entire call is one pointer
 // check and must stay allocation-free — the hot paths call it
 // unconditionally.
+//
+//thedb:noalloc
 func (w *Worker) event(k obs.Kind, a, b uint64) {
 	if r := w.e.rec; r != nil {
 		r.Record(w.id, k, w.e.epoch.Current(), a, b)

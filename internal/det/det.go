@@ -139,6 +139,7 @@ func (w *Worker) Run(procName string, args ...storage.Value) (*proc.Env, error) 
 	sort.Ints(parts)
 	parts = dedupInts(parts)
 	for _, pi := range parts {
+		//thedb:nolint:lockorder safe by construction: parts was sorted and deduplicated above, so all workers acquire partitions in ascending index order
 		w.e.partitions[pi].Lock()
 	}
 	defer func() {

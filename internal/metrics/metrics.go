@@ -57,13 +57,64 @@ func (p Phase) String() string {
 // buckets, a superset of the paper's table rows.
 const numBuckets = 24
 
+// Counters is a plain-field snapshot of one collector's counter
+// state. It is the read side of the live/snapshot split: Worker's
+// fields are written with atomic adds and must never be read plainly,
+// while a Counters value is an ordinary struct — copy it, sum it,
+// read it from any goroutine. Worker.Snapshot is the only bridge
+// between the two.
+type Counters struct {
+	Committed  int64
+	Aborted    int64 // transactions given up permanently (user abort, deadlock prevention)
+	Restarts   int64 // abort-and-restart events (OCC/2PL retries)
+	Heals      int64 // healing-phase invocations
+	HealedOps  int64 // operations restored by healing
+	FalseInval int64 // validation failures dismissed as false invalidations
+
+	// Degradation-ladder and watchdog counters (DESIGN.md §10).
+	HealingFallbacks int64 // escalations to a less optimistic rung (Healing→OCC, OCC→2PL)
+	BudgetExhausted  int64 // transactions that ran out of retry budget (ErrContended)
+	WatchdogTrips    int64 // stuck-epoch watchdog firings attributed to this worker
+
+	// LatencySumNS totals committed-transaction latency, pairing with
+	// the histogram buckets for exposition (_sum of the Prometheus
+	// histogram).
+	LatencySumNS int64
+
+	PhaseNS [numPhases]int64
+
+	latency [numBuckets]int64 // committed-transaction latency, bucket i: [2^i, 2^(i+1)) µs
+}
+
+// accumulate sums o into c field by field.
+func (c *Counters) accumulate(o *Counters) {
+	c.Committed += o.Committed
+	c.Aborted += o.Aborted
+	c.Restarts += o.Restarts
+	c.Heals += o.Heals
+	c.HealedOps += o.HealedOps
+	c.FalseInval += o.FalseInval
+	c.HealingFallbacks += o.HealingFallbacks
+	c.BudgetExhausted += o.BudgetExhausted
+	c.WatchdogTrips += o.WatchdogTrips
+	c.LatencySumNS += o.LatencySumNS
+	for p := range o.PhaseNS {
+		c.PhaseNS[p] += o.PhaseNS[p]
+	}
+	for b := range o.latency {
+		c.latency[b] += o.latency[b]
+	}
+}
+
 // Worker is a single worker's private metrics collector.
 //
 // The int64 counter fields are written with atomic adds by the owning
-// worker and may be read atomically by other goroutines mid-run (use
-// Snapshot); reading them with plain loads is only safe once the
-// worker has stopped. The raw percentile samples are worker-private
-// until the run ends and are never part of a live snapshot.
+// worker and read atomically by everyone, including the owner: use
+// Snapshot, which returns a plain Counters value. The atomicdisc
+// analyzer enforces the split — a plain read or write of any field
+// below is a lint error everywhere in the module. The raw percentile
+// samples are worker-private until the run ends and are never part of
+// a live snapshot.
 type Worker struct {
 	Committed  int64
 	Aborted    int64 // transactions given up permanently (user abort, deadlock prevention)
@@ -100,12 +151,18 @@ const MaxMergedSamples = 1 << 18
 // Inc atomically adds 1 to a counter field of this collector; Add
 // adds n. Callers pass a pointer to one of the exported int64 fields
 // (e.g. w.Inc(&w.Committed)).
+//
+//thedb:noalloc
 func (w *Worker) Inc(field *int64) { atomic.AddInt64(field, 1) }
 
 // Add atomically adds n to a counter field of this collector.
+//
+//thedb:noalloc
 func (w *Worker) Add(field *int64, n int64) { atomic.AddInt64(field, n) }
 
 // AddPhase accrues d into the phase's total.
+//
+//thedb:noalloc
 func (w *Worker) AddPhase(p Phase, d time.Duration) {
 	atomic.AddInt64(&w.PhaseNS[p], int64(d))
 }
@@ -132,8 +189,8 @@ func (w *Worker) ObserveLatency(d time.Duration) {
 // samples are deliberately excluded (they are append-only
 // worker-private state, merged only after a run); histogram buckets,
 // phase times and all counters are included.
-func (w *Worker) Snapshot() Worker {
-	var s Worker
+func (w *Worker) Snapshot() Counters {
+	var s Counters
 	s.Committed = atomic.LoadInt64(&w.Committed)
 	s.Aborted = atomic.LoadInt64(&w.Aborted)
 	s.Restarts = atomic.LoadInt64(&w.Restarts)
@@ -156,9 +213,11 @@ func (w *Worker) Snapshot() Worker {
 // Aggregate is the merged view over all workers plus the wall-clock
 // duration of the run.
 type Aggregate struct {
-	Worker
+	Counters
 	Wall    time.Duration
 	Workers int
+
+	samples []float64 // merged raw latency samples (µs), bounded by MaxMergedSamples
 
 	// Epoch is the global epoch at snapshot time (live snapshots
 	// only; zero on post-run merges).
@@ -186,22 +245,8 @@ func Merge(wall time.Duration, workers []*Worker) *Aggregate {
 	rng := uint64(0x9e3779b97f4a7c15) // fixed seed: merges are reproducible
 	seen := 0
 	for _, w := range workers {
-		a.Committed += w.Committed
-		a.Aborted += w.Aborted
-		a.Restarts += w.Restarts
-		a.Heals += w.Heals
-		a.HealedOps += w.HealedOps
-		a.FalseInval += w.FalseInval
-		a.HealingFallbacks += w.HealingFallbacks
-		a.BudgetExhausted += w.BudgetExhausted
-		a.WatchdogTrips += w.WatchdogTrips
-		a.LatencySumNS += w.LatencySumNS
-		for p := range w.PhaseNS {
-			a.PhaseNS[p] += w.PhaseNS[p]
-		}
-		for b := range w.latency {
-			a.latency[b] += w.latency[b]
-		}
+		c := w.Snapshot()
+		a.Counters.accumulate(&c)
 		for _, s := range w.samples {
 			if len(a.samples) < MaxMergedSamples {
 				a.samples = append(a.samples, s)
@@ -217,6 +262,18 @@ func Merge(wall time.Duration, workers []*Worker) *Aggregate {
 			}
 			seen++
 		}
+	}
+	return a
+}
+
+// MergeSnapshots folds already-taken Counters snapshots into an
+// aggregate — the live-snapshot path, where the caller reads each
+// worker under its own consistency protocol (epoch-stable scans) and
+// no raw samples exist.
+func MergeSnapshots(wall time.Duration, snaps []Counters) *Aggregate {
+	a := &Aggregate{Wall: wall, Workers: len(snaps)}
+	for i := range snaps {
+		a.Counters.accumulate(&snaps[i])
 	}
 	return a
 }

@@ -12,7 +12,7 @@ func TestMergeAndTPS(t *testing.T) {
 	w2 := &Worker{Committed: 200, Restarts: 20, Aborted: 2, FalseInval: 3}
 	a := Merge(2*time.Second, []*Worker{w1, w2})
 	if a.Committed != 300 || a.Restarts != 30 || a.Aborted != 2 || a.Heals != 5 || a.FalseInval != 3 {
-		t.Fatalf("merged = %+v", a.Worker)
+		t.Fatalf("merged = %+v", a.Counters)
 	}
 	if a.TPS() != 150 {
 		t.Fatalf("tps = %f", a.TPS())
@@ -35,7 +35,7 @@ func TestLadderCountersSurviveMerge(t *testing.T) {
 	w2 := &Worker{Committed: 20, HealingFallbacks: 4, WatchdogTrips: 2}
 	a := Merge(time.Second, []*Worker{w1, w2})
 	if a.HealingFallbacks != 7 || a.BudgetExhausted != 1 || a.WatchdogTrips != 2 {
-		t.Fatalf("ladder counters lost in merge: %+v", a.Worker)
+		t.Fatalf("ladder counters lost in merge: %+v", a.Counters)
 	}
 	s := a.BreakdownString()
 	for _, want := range []string{"fallbacks=7", "budget_exhausted=1", "watchdog_trips=2"} {
@@ -191,8 +191,10 @@ func TestSnapshotCopiesCountersExcludesSamples(t *testing.T) {
 	if s.LatencySumNS != int64(3*time.Microsecond) {
 		t.Fatalf("snapshot latency sum = %d", s.LatencySumNS)
 	}
-	if s.samples != nil {
-		t.Fatal("snapshot must not carry the raw sample slice")
+	// Counters carries no sample slice by construction; merging one
+	// snapshot must leave the aggregate without raw samples either.
+	if MergeSnapshots(time.Second, []Counters{s}).Samples() != 0 {
+		t.Fatal("snapshot must not carry raw samples into an aggregate")
 	}
 }
 

@@ -52,10 +52,25 @@ func (s *Server) Connections() int64 {
 	return atomic.LoadInt64(&s.ConnsOpened) - atomic.LoadInt64(&s.ConnsClosed)
 }
 
+// ServerCounters is the plain-field snapshot of a Server collector,
+// mirroring the Worker/Counters split: Server fields are atomic-only,
+// a ServerCounters value is ordinary data.
+type ServerCounters struct {
+	ConnsOpened   int64
+	ConnsClosed   int64
+	Requests      int64
+	InFlight      int64
+	Shed          int64
+	DrainRejected int64
+	BadFrames     int64
+	BytesIn       int64
+	BytesOut      int64
+}
+
 // Snapshot returns an atomically-read copy, safe to take while the
 // server keeps serving.
-func (s *Server) Snapshot() Server {
-	var c Server
+func (s *Server) Snapshot() ServerCounters {
+	var c ServerCounters
 	c.ConnsOpened = atomic.LoadInt64(&s.ConnsOpened)
 	c.ConnsClosed = atomic.LoadInt64(&s.ConnsClosed)
 	c.Requests = atomic.LoadInt64(&s.Requests)

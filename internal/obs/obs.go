@@ -228,6 +228,8 @@ func (r *Recorder) RingSize() int { return r.size }
 // Record appends one event to the worker's ring (EpochActor for the
 // advancer). It is wait-free and allocation-free; each worker slot
 // must be recorded into by at most one goroutine at a time.
+//
+//thedb:noalloc
 func (r *Recorder) Record(worker int, k Kind, epoch uint32, a, b uint64) {
 	ring := &r.rings[r.slotIndex(worker)]
 	seq := r.seq.Add(1)

@@ -69,7 +69,7 @@ func WriteProm(w io.Writer, a *metrics.Aggregate) {
 // Prometheus text format. s is a Snapshot (plain loads are safe).
 // Emitted after the engine series when a Plane has server stats
 // attached, so one scrape covers engine and serving plane together.
-func WritePromServer(w io.Writer, s metrics.Server) {
+func WritePromServer(w io.Writer, s metrics.ServerCounters) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
 	}

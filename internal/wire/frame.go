@@ -27,6 +27,10 @@ var ErrTruncated = errors.New("wire: truncated")
 // AppendFrame appends one encoded frame to dst and returns the
 // extended slice. It is the single encoding path: every message
 // helper (AppendCall, AppendResult, ...) funnels through it.
+// Growing dst is the caller's amortized cost; the frame itself adds
+// no allocation.
+//
+//thedb:noalloc
 func AppendFrame(dst []byte, op uint8, id uint64, payload []byte) []byte {
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], Magic)
@@ -42,28 +46,37 @@ func AppendFrame(dst []byte, op uint8, id uint64, payload []byte) []byte {
 // the returned Frame's payload aliases b. n is the number of bytes
 // consumed. maxPayload bounds the accepted payload length (<= 0 means
 // DefaultMaxFrame); a length field beyond it fails with
-// ErrFrameTooLarge before anything is allocated or sliced.
+// ErrFrameTooLarge before anything is allocated or sliced. The
+// accepting path is zero-alloc; the rejecting paths build one
+// detailed error and the connection dies.
+//
+//thedb:noalloc
 func DecodeFrame(b []byte, maxPayload int) (f Frame, n int, err error) {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxFrame
 	}
 	if len(b) < HeaderSize {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, 0, fmt.Errorf("%w: frame header (%d of %d bytes)", ErrTruncated, len(b), HeaderSize)
 	}
 	if got := binary.LittleEndian.Uint16(b[0:2]); got != Magic {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, 0, fmt.Errorf("%w: %#04x", ErrBadMagic, got)
 	}
 	f.Version = b[2]
 	if f.Version != Version {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, 0, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, f.Version, Version)
 	}
 	f.Op = b[3]
 	f.ID = binary.LittleEndian.Uint64(b[4:12])
 	length := binary.LittleEndian.Uint32(b[12:16])
 	if uint64(length) > uint64(maxPayload) {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, maxPayload)
 	}
 	if uint64(len(b)-HeaderSize) < uint64(length) {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, 0, fmt.Errorf("%w: frame body (%d of %d bytes)", ErrTruncated, len(b)-HeaderSize, length)
 	}
 	f.Payload = b[HeaderSize : HeaderSize+int(length)]
@@ -90,7 +103,11 @@ func NewReader(r io.Reader, maxPayload int) *Reader {
 }
 
 // Next reads one frame. io.EOF means the peer closed cleanly between
-// frames; a partial frame surfaces as io.ErrUnexpectedEOF.
+// frames; a partial frame surfaces as io.ErrUnexpectedEOF. The
+// steady-state path reads into the reused payload buffer without
+// allocating.
+//
+//thedb:noalloc
 func (r *Reader) Next() (Frame, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
@@ -101,19 +118,23 @@ func (r *Reader) Next() (Frame, error) {
 	}
 	var f Frame
 	if got := binary.LittleEndian.Uint16(hdr[0:2]); got != Magic {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, fmt.Errorf("%w: %#04x", ErrBadMagic, got)
 	}
 	f.Version = hdr[2]
 	if f.Version != Version {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, f.Version, Version)
 	}
 	f.Op = hdr[3]
 	f.ID = binary.LittleEndian.Uint64(hdr[4:12])
 	length := binary.LittleEndian.Uint32(hdr[12:16])
 	if uint64(length) > uint64(r.max) {
+		//thedb:nolint:noalloc cold reject path: a malformed frame tears down the connection, never the commit path
 		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, r.max)
 	}
 	if cap(r.buf) < int(length) {
+		//thedb:nolint:noalloc amortized growth: the buffer grows to the largest frame actually seen, then is reused for every later frame
 		r.buf = make([]byte, length)
 	}
 	r.buf = r.buf[:length]

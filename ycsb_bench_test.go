@@ -1,0 +1,257 @@
+package thedb_test
+
+// YCSB throughput/latency snapshot: drive the healing engine with the
+// YCSB generator in two deployments — local (sessions in-process, the
+// paper's own measurement setup) and loopback-server (the same engine
+// behind the serving plane, calls pipelined over the wire protocol) —
+// and write BENCH_ycsb.json. The gap between the two rows is the
+// serving plane's cost: framing, dispatch, admission control and a
+// loopback round trip per batch.
+//
+// Run via `make bench-ycsb` (env-gated so the ordinary test suite
+// stays fast).
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"thedb"
+	"thedb/client"
+	"thedb/internal/server"
+	"thedb/internal/workload/ycsb"
+)
+
+const (
+	benchYCSBRecords  = 50_000
+	benchYCSBTheta    = 0.8 // moderately skewed zipf, the paper's default contention knob
+	benchYCSBFieldLen = 8
+	benchYCSBDuration = 2 * time.Second
+	benchYCSBWorkers  = 4
+	benchYCSBPipeline = 16
+)
+
+var benchYCSBMixes = map[string]ycsb.Mix{"a": ycsb.WorkloadA, "c": ycsb.WorkloadC}
+
+type ycsbCase struct {
+	Mode      string  `json:"mode"` // local | net
+	Mix       string  `json:"mix"`
+	Workers   int     `json:"workers"`
+	Records   int     `json:"records"`
+	Theta     float64 `json:"theta"`
+	Seconds   float64 `json:"seconds"`
+	Committed int64   `json:"committed"`
+	Aborted   int64   `json:"aborted"`
+	TPS       float64 `json:"tps"`
+	P50us     float64 `json:"p50_us"` // local: per-txn; net: per pipelined batch round trip
+	P99us     float64 `json:"p99_us"`
+	Pipeline  int     `json:"pipeline,omitempty"` // net only: calls per batch
+}
+
+func benchYCSBOpen(t *testing.T, workers int) *thedb.DB {
+	t.Helper()
+	db, err := thedb.Open(thedb.Config{Protocol: thedb.Healing, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustCreateTable(ycsb.Schema())
+	for _, s := range ycsb.Specs() {
+		db.MustRegister(s)
+	}
+	if err := ycsb.Populate(db.Catalog(), benchYCSBRecords, benchYCSBFieldLen); err != nil {
+		t.Fatal(err)
+	}
+	db.Start()
+	return db
+}
+
+func pctUS(samples []time.Duration, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	d := samples[int(p*float64(len(samples)-1))]
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// runYCSBLocal measures in-process sessions: each worker goroutine
+// owns one session and one generator, exactly the paper's per-thread
+// measurement loop.
+func runYCSBLocal(t *testing.T, mixName string) ycsbCase {
+	db := benchYCSBOpen(t, benchYCSBWorkers)
+	defer func() {
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var committed, aborted int64
+	var all []time.Duration
+	var mu sync.Mutex
+	deadline := time.Now().Add(benchYCSBDuration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < benchYCSBWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session(w)
+			gen := ycsb.NewGen(benchYCSBMixes[mixName], benchYCSBRecords, benchYCSBTheta, w)
+			var ok, bad int64
+			lat := make([]time.Duration, 0, 1<<15)
+			for time.Now().Before(deadline) {
+				proc, args := gen.Next()
+				t0 := time.Now()
+				_, err := s.Run(proc, args...)
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					bad++
+				} else {
+					ok++
+				}
+			}
+			mu.Lock()
+			committed += ok
+			aborted += bad
+			all = append(all, lat...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	return ycsbCase{
+		Mode: "local", Mix: mixName, Workers: benchYCSBWorkers,
+		Records: benchYCSBRecords, Theta: benchYCSBTheta,
+		Seconds: wall.Seconds(), Committed: committed, Aborted: aborted,
+		TPS:   float64(committed) / wall.Seconds(),
+		P50us: pctUS(all, 0.50), P99us: pctUS(all, 0.99),
+	}
+}
+
+// runYCSBNet measures the same engine behind the serving plane over a
+// loopback listener: client goroutines pipeline batches of calls, so
+// the latency columns are per-batch round trips.
+func runYCSBNet(t *testing.T, mixName string) ycsbCase {
+	db := benchYCSBOpen(t, benchYCSBWorkers)
+	srv := server.New(db, server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	cl, err := client.Dial(l.Addr().String(), client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var committed, aborted int64
+	var all []time.Duration
+	var mu sync.Mutex
+	ctx, cancel := context.WithTimeout(context.Background(), benchYCSBDuration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < benchYCSBWorkers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := ycsb.NewGen(benchYCSBMixes[mixName], benchYCSBRecords, benchYCSBTheta, c)
+			batch := make([]client.Invocation, benchYCSBPipeline)
+			var ok, bad int64
+			lat := make([]time.Duration, 0, 1<<12)
+			for ctx.Err() == nil {
+				for i := range batch {
+					proc, args := gen.Next()
+					batch[i] = client.Invocation{Proc: proc, Args: args}
+				}
+				t0 := time.Now()
+				replies := cl.CallBatch(ctx, batch)
+				lat = append(lat, time.Since(t0))
+				for _, r := range replies {
+					if r.Err == nil {
+						ok++
+					} else if ctx.Err() == nil {
+						bad++
+					}
+				}
+			}
+			mu.Lock()
+			committed += ok
+			aborted += bad
+			all = append(all, lat...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	return ycsbCase{
+		Mode: "net", Mix: mixName, Workers: benchYCSBWorkers,
+		Records: benchYCSBRecords, Theta: benchYCSBTheta,
+		Seconds: wall.Seconds(), Committed: committed, Aborted: aborted,
+		TPS:   float64(committed) / wall.Seconds(),
+		P50us: pctUS(all, 0.50), P99us: pctUS(all, 0.99),
+		Pipeline: benchYCSBPipeline,
+	}
+}
+
+// TestBenchYCSBSnapshot regenerates BENCH_ycsb.json. Gated on
+// THEDB_BENCH_YCSB=1.
+func TestBenchYCSBSnapshot(t *testing.T) {
+	if os.Getenv("THEDB_BENCH_YCSB") == "" {
+		t.Skip("set THEDB_BENCH_YCSB=1 (or run `make bench-ycsb`) to regenerate BENCH_ycsb.json")
+	}
+	var cases []ycsbCase
+	for _, mix := range []string{"a", "c"} {
+		for _, run := range []func(*testing.T, string) ycsbCase{runYCSBLocal, runYCSBNet} {
+			c := run(t, mix)
+			t.Logf("%s mix=%s: %d committed (%.0f txn/s), %d errors, p50=%.0fµs p99=%.0fµs",
+				c.Mode, c.Mix, c.Committed, c.TPS, c.Aborted, c.P50us, c.P99us)
+			if c.Committed == 0 {
+				t.Fatalf("%s mix=%s committed nothing", c.Mode, c.Mix)
+			}
+			cases = append(cases, c)
+		}
+	}
+	out := struct {
+		Date  string     `json:"date"`
+		Bench string     `json:"bench"`
+		Note  string     `json:"note"`
+		Cases []ycsbCase `json:"cases"`
+	}{
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Bench: "YCSB throughput and latency, local sessions vs loopback serving plane (make bench-ycsb)",
+		Note:  "local rows: per-txn latency over in-process sessions; net rows: per-batch round-trip latency over the wire protocol with pipelined calls — the gap is the serving plane's cost",
+		Cases: cases,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ycsb.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_ycsb.json (%d cases)", len(cases))
+}
