@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke recovery-torture restart-smoke bench-restart bench-ycsb
+.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke net-chaos recovery-torture restart-smoke bench-restart bench-ycsb
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,19 @@ net-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "net-smoke: server did not drain cleanly"; exit 1; }; \
 	echo "net-smoke: pipelined bench over loopback ok, counters exported, clean drain"
+
+# net-chaos is the serving-plane torture (DESIGN.md §14): a client
+# fleet drives disjoint workloads through the fault-injecting proxy
+# (internal/netfault) at a WAL-backed server that is killed and
+# restarted from its WAL mid-run, then diffs the final state against
+# per-client sequential models, reconciles every ambiguous outcome and
+# runs the serializability oracle over the whole multi-incarnation
+# history. Always under -race; -short trims the 32-seed sweep. The
+# dedup/session unit tests and the proxy's own tests ride along.
+net-chaos:
+	$(GO) test -race -run 'NetChaosTorture' .
+	$(GO) test -race ./internal/netfault/ ./client/
+	$(GO) test -race -run 'Dedup|Deadline|Restart' ./internal/server/
 
 # recovery-torture is the model-vs-real crash-recovery sweep (DESIGN.md
 # §13.5): 64 seeded lives, each crashing at a byte-budget instant mid

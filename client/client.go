@@ -14,6 +14,30 @@
 // backoff floored at that hint, up to Options.RetryAttempts. All
 // other errors — user aborts, unknown procedures, protocol faults —
 // return immediately.
+//
+// # Exactly-once retries
+//
+// A connection can die after a call was sent but before its response
+// arrived — the ambiguous window where the transaction may or may not
+// have committed. The client closes it with the protocol's session
+// machinery: every Call gets a client-wide monotonic sequence number,
+// and a re-send of the same (session, seq) — over the same connection
+// pool or a fresh one after redial — is answered from the server's
+// per-session dedup window instead of executing twice. Retries across
+// connection failures are therefore transparent and safe, including
+// for non-idempotent procedures.
+//
+// The guarantee ends at a server restart: the dedup window dies with
+// the process, which the client detects through the incarnation token
+// in the handshake. A call that was sent, lost its connection, and
+// cannot be safely retried surfaces as a MaybeCommittedError (matched
+// by errors.Is(err, ErrMaybeCommitted)): the caller must reconcile —
+// typically by reading back the affected keys under a fresh sequence
+// number.
+//
+// A context deadline travels with each call as a budget; the server
+// refuses to execute once the budget is dead, so a caller that has
+// given up never commits work it will not observe.
 package client
 
 import (
@@ -92,6 +116,35 @@ func (o *Options) fill() {
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("client: closed")
 
+// ErrMaybeCommitted marks an ambiguous outcome: the call was sent, no
+// response arrived, and the exactly-once machinery could not settle it
+// (server restart, dedup disabled, or the caller's context died).
+// Match with errors.Is; the concrete error is a *MaybeCommittedError
+// carrying the cause.
+var ErrMaybeCommitted = errors.New("client: call may have committed")
+
+// MaybeCommittedError reports a call whose transaction may or may not
+// have committed on the server. It is never returned when the server
+// answered (even with an error) or when the call was provably not
+// executed; the caller must reconcile by reading back the keys the
+// call would have written.
+type MaybeCommittedError struct {
+	// Cause is the failure that created the ambiguity (connection
+	// loss, context death, retry exhaustion).
+	Cause error
+}
+
+// Error formats the ambiguity with its cause.
+func (e *MaybeCommittedError) Error() string {
+	return fmt.Sprintf("client: call may have committed (outcome unknown): %v", e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *MaybeCommittedError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrMaybeCommitted sentinel.
+func (e *MaybeCommittedError) Is(target error) bool { return target == ErrMaybeCommitted }
+
 // Result is one committed transaction's named outputs.
 type Result struct {
 	outs []wire.Output
@@ -160,6 +213,13 @@ type Client struct {
 
 	next atomic.Uint64
 
+	// session is the exactly-once token bound by the first handshake
+	// and presented on every subsequent dial, so all pooled (and
+	// re-dialed) connections share one dedup window. seq numbers the
+	// client's calls within that session.
+	session atomic.Uint64
+	seq     atomic.Uint64
+
 	mu     sync.Mutex
 	pool   []*clientConn
 	closed bool
@@ -202,28 +262,83 @@ func (c *Client) Close() error {
 }
 
 // Call invokes a stored procedure and waits for its outputs, retrying
-// shed/contended/draining responses with jittered backoff. A nil
-// error means the transaction committed on the server.
+// shed/contended/draining responses and connection failures with
+// jittered backoff. A nil error means the transaction committed on
+// the server exactly once; a MaybeCommittedError means the outcome is
+// unknown and the caller must reconcile.
 func (c *Client) Call(ctx context.Context, procName string, args ...storage.Value) (*Result, error) {
+	return c.callSeq(ctx, c.seq.Add(1), 0, procName, args)
+}
+
+// callSeq drives one logical call — one sequence number — through as
+// many attempts as the retry budget allows. sentInc carries ambiguity
+// in from a batch path whose frame already reached the wire (0 when
+// nothing was sent yet): it records the incarnation of the server
+// holding the unanswered attempt, and the call stays transparently
+// retryable only while reconnects land on that same incarnation, whose
+// dedup window guarantees the retry cannot double-apply.
+func (c *Client) callSeq(ctx context.Context, seq, sentInc uint64, procName string, args []storage.Value) (*Result, error) {
 	var lastErr error
+	maybe := func(err error) error {
+		if sentInc != 0 {
+			return &MaybeCommittedError{Cause: err}
+		}
+		return err
+	}
 	for attempt := 0; attempt <= c.opts.RetryAttempts; attempt++ {
 		if attempt > 0 {
 			if err := c.backoff(ctx, attempt, lastErr); err != nil {
-				return nil, err
+				return nil, maybe(err)
 			}
 		}
-		res, err := c.callOnce(ctx, procName, args)
+		cc, err := c.conn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, maybe(err)
+			}
+			// Dial failure: the server may be mid-restart. Keep
+			// retrying; the incarnation check below settles ambiguity
+			// once a connection lands.
+			lastErr = err
+			continue
+		}
+		if sentInc != 0 && (cc.welcome.Session == 0 || cc.welcome.Incarnation != sentInc) {
+			// An attempt is unanswered and the server that held its
+			// dedup entry is gone (restart = new incarnation). A
+			// re-send could double-apply; surface the ambiguity.
+			return nil, &MaybeCommittedError{Cause: lastErr}
+		}
+		res, sent, err := cc.call(ctx, seq, procName, args)
 		if err == nil {
 			return res, nil
 		}
 		lastErr = err
 		var re *wire.RemoteError
-		if errors.As(err, &re) && re.Retryable() {
-			continue
+		if errors.As(err, &re) {
+			// The server answered, so the outcome of seq is settled: a
+			// retryable rejection provably did not execute (rejections
+			// are never cached in the dedup window), so any earlier
+			// ambiguity is resolved too.
+			if re.Retryable() {
+				sentInc = 0
+				continue
+			}
+			return nil, err
 		}
-		return nil, err
+		// No answer for this attempt. If the frame may have reached
+		// the wire, the call is ambiguous from here on — transparently
+		// retryable only under this incarnation's dedup window.
+		if sent {
+			if cc.welcome.Session == 0 {
+				return nil, &MaybeCommittedError{Cause: err}
+			}
+			sentInc = cc.welcome.Incarnation
+		}
+		if ctx.Err() != nil {
+			return nil, maybe(ctx.Err())
+		}
 	}
-	return nil, fmt.Errorf("client: %d retries exhausted: %w", c.opts.RetryAttempts, lastErr)
+	return nil, maybe(fmt.Errorf("client: %d retries exhausted: %w", c.opts.RetryAttempts, lastErr))
 }
 
 // CallBatch pipelines a batch of invocations over one connection —
@@ -234,6 +349,13 @@ func (c *Client) CallBatch(ctx context.Context, calls []Invocation) []Reply {
 	replies := make([]Reply, len(calls))
 	if len(calls) == 0 {
 		return replies
+	}
+	// Each invocation gets its sequence number up front, so a batched
+	// call retried individually below re-sends under the same seq and
+	// stays exactly-once.
+	slots := make([]batchSlot, len(calls))
+	for i := range slots {
+		slots[i].seq = c.seq.Add(1)
 	}
 	cc, err := c.conn()
 	if err != nil {
@@ -250,16 +372,34 @@ func (c *Client) CallBatch(ctx context.Context, calls []Invocation) []Reply {
 		if hi > len(calls) {
 			hi = len(calls)
 		}
-		cc.sendWindow(ctx, calls[lo:hi], replies[lo:hi])
+		cc.sendWindow(ctx, calls[lo:hi], replies[lo:hi], slots[lo:hi])
 	}
-	// Individually retry anything retryable (shed under competing
-	// load, contended, draining-then-restarted).
+	// Individually retry what can be retried safely: retryable server
+	// rejections (provably not executed) and connection failures,
+	// whose sent frames the dedup window guards against double apply.
 	for i := range replies {
-		var re *wire.RemoteError
-		if replies[i].Err == nil || !errors.As(replies[i].Err, &re) || !re.Retryable() {
+		err := replies[i].Err
+		if err == nil {
 			continue
 		}
-		replies[i].Result, replies[i].Err = c.Call(ctx, calls[i].Proc, calls[i].Args...)
+		var re *wire.RemoteError
+		switch {
+		case errors.As(err, &re):
+			if !re.Retryable() {
+				continue // settled outcome
+			}
+			slots[i].sentInc = 0 // rejection: the seq did not execute
+		case ctx.Err() != nil:
+			if slots[i].sentInc != 0 {
+				replies[i].Err = &MaybeCommittedError{Cause: err}
+			}
+			continue
+		case slots[i].sent && slots[i].sentInc == 0:
+			// Sent without a dedup-capable session: no safe retry.
+			replies[i].Err = &MaybeCommittedError{Cause: err}
+			continue
+		}
+		replies[i].Result, replies[i].Err = c.callSeq(ctx, slots[i].seq, slots[i].sentInc, calls[i].Proc, calls[i].Args)
 	}
 	return replies
 }
@@ -267,16 +407,12 @@ func (c *Client) CallBatch(ctx context.Context, calls []Invocation) []Reply {
 // backoff sleeps before retry attempt n: jittered exponential from
 // RetryBase, capped at RetryMax, floored at the server's hint.
 func (c *Client) backoff(ctx context.Context, attempt int, cause error) error {
-	d := c.opts.RetryBase << (attempt - 1)
-	if d > c.opts.RetryMax {
-		d = c.opts.RetryMax
-	}
-	// Full jitter: uniform in [d/2, d).
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var hint time.Duration
 	var re *wire.RemoteError
-	if errors.As(cause, &re) && re.Backoff > d {
-		d = re.Backoff
+	if errors.As(cause, &re) {
+		hint = re.Backoff
 	}
+	d := retryDelay(c.opts.RetryBase, c.opts.RetryMax, hint, attempt, rand.Int63n)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -287,16 +423,29 @@ func (c *Client) backoff(ctx context.Context, attempt int, cause error) error {
 	}
 }
 
-func (c *Client) callOnce(ctx context.Context, procName string, args []storage.Value) (*Result, error) {
-	cc, err := c.conn()
-	if err != nil {
-		return nil, err
+// retryDelay computes the sleep before retry attempt n (1-based):
+// exponential from base, capped at max (with the left shift guarded
+// against overflow for large attempt counts), jittered uniformly into
+// [d/2, d], then floored at the server's backoff hint. jitter is the
+// random source — rand.Int63n in production, deterministic in tests.
+func retryDelay(base, max, hint time.Duration, attempt int, jitter func(int64) int64) time.Duration {
+	d := base
+	if shift := attempt - 1; shift > 0 {
+		if shift >= 63 {
+			d = max
+		} else if d <<= shift; d <= 0 || d > max {
+			d = max
+		}
 	}
-	ch, id, err := cc.issue(ctx, procName, args, true)
-	if err != nil {
-		return nil, err
+	if d > max {
+		d = max
 	}
-	return cc.await(ctx, id, ch)
+	// Full jitter: uniform in [d/2, d].
+	d = d/2 + time.Duration(jitter(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	return d
 }
 
 // conn picks the next pooled connection, dialing or replacing broken
@@ -380,22 +529,26 @@ func (c *Client) dialConn() (*clientConn, error) {
 		pending: make(map[uint64]chan outcome),
 		done:    make(chan struct{}),
 	}
-	if err := cc.handshake(c.opts); err != nil {
+	if err := cc.handshake(c.opts, c.session.Load()); err != nil {
 		cerr := nc.Close()
 		_ = cerr // handshake failure already reported; socket is dead
 		return nil, err
 	}
+	// The first successful handshake mints the client's session; every
+	// later dial presented it, and the server echoed the same token.
+	c.session.CompareAndSwap(0, cc.welcome.Session)
 	go cc.readLoop(c.opts.MaxFrame)
 	return cc, nil
 }
 
-// handshake sends hello and waits for the server's welcome (or a
-// version error), synchronously, before the reader starts.
-func (cc *clientConn) handshake(opts Options) error {
+// handshake sends hello (presenting the client's session token, 0 to
+// mint) and waits for the server's welcome (or a version error),
+// synchronously, before the reader starts.
+func (cc *clientConn) handshake(opts Options, session uint64) error {
 	if err := cc.nc.SetDeadline(time.Now().Add(opts.DialTimeout)); err != nil {
 		return fmt.Errorf("client: handshake deadline: %w", err)
 	}
-	buf := wire.AppendHello(nil, wire.Hello{Client: opts.Name})
+	buf := wire.AppendHello(nil, wire.Hello{Client: opts.Name, Session: session})
 	if _, err := cc.nc.Write(buf); err != nil {
 		return fmt.Errorf("client: sending hello: %w", err)
 	}
@@ -431,10 +584,36 @@ func (cc *clientConn) handshake(opts Options) error {
 	return nil
 }
 
+// call runs one attempt of a sequenced call on this connection. sent
+// reports whether the frame may have reached the wire — the flag that
+// separates "provably never executed" from "ambiguous" when err is a
+// connection failure rather than a server answer.
+func (cc *clientConn) call(ctx context.Context, seq uint64, procName string, args []storage.Value) (*Result, bool, error) {
+	ch, id, sent, err := cc.issue(ctx, seq, procName, args, true)
+	if err != nil {
+		return nil, sent, err
+	}
+	res, err := cc.await(ctx, id, ch)
+	return res, true, err
+}
+
 // issue reserves an in-flight slot, registers a waiter, and writes
-// one call frame; flush controls whether the buffer is pushed to the
-// wire immediately (single calls) or left for a batch flush.
-func (cc *clientConn) issue(ctx context.Context, procName string, args []storage.Value, flush bool) (chan outcome, uint64, error) {
+// one call frame stamped with its sequence number and the context's
+// remaining deadline as a microsecond budget; flush controls whether
+// the buffer is pushed to the wire immediately (single calls) or left
+// for a batch flush. sent=true means bytes may have reached the wire
+// (a failed write can still have delivered the frame).
+func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, args []storage.Value, flush bool) (chan outcome, uint64, bool, error) {
+	var budgetUS uint64
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, 0, false, ctx.Err()
+		}
+		if budgetUS = uint64(rem / time.Microsecond); budgetUS == 0 {
+			budgetUS = 1
+		}
+	}
 	select {
 	case cc.sem <- struct{}{}:
 	default:
@@ -445,14 +624,14 @@ func (cc *clientConn) issue(ctx context.Context, procName string, args []storage
 		// concurrent batches on one connection can fill the window
 		// entirely with buffered frames and deadlock.
 		if err := cc.flushCalls(); err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		select {
 		case cc.sem <- struct{}{}:
 		case <-cc.done:
-			return nil, 0, cc.failure()
+			return nil, 0, false, cc.failure()
 		case <-ctx.Done():
-			return nil, 0, ctx.Err()
+			return nil, 0, false, ctx.Err()
 		}
 	}
 	id := cc.nextID.Add(1)
@@ -462,12 +641,12 @@ func (cc *clientConn) issue(ctx context.Context, procName string, args []storage
 		err := cc.err
 		cc.mu.Unlock()
 		<-cc.sem
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	buf := wire.AppendCall(nil, id, wire.Call{Proc: procName, Args: args})
+	buf := wire.AppendCall(nil, id, wire.Call{Proc: procName, Args: args, Seq: seq, BudgetUS: budgetUS})
 	cc.wmu.Lock()
 	_, werr := cc.bw.Write(buf)
 	if werr == nil && flush {
@@ -479,9 +658,9 @@ func (cc *clientConn) issue(ctx context.Context, procName string, args []storage
 		werr = fmt.Errorf("client: write: %w", werr)
 		cerr := cc.close(werr)
 		_ = cerr // the write error is the one worth reporting
-		return nil, 0, werr
+		return nil, 0, true, werr
 	}
-	return ch, id, nil
+	return ch, id, true, nil
 }
 
 // flushCalls pushes buffered batch frames to the wire.
@@ -513,22 +692,36 @@ func (cc *clientConn) await(ctx context.Context, id uint64, ch chan outcome) (*R
 	}
 }
 
+// batchSlot carries one batched invocation's exactly-once state: its
+// pre-assigned sequence number and, after sendWindow, whether its
+// frame may have reached the wire and under which server incarnation.
+type batchSlot struct {
+	seq     uint64
+	sent    bool
+	sentInc uint64 // incarnation if sent with a dedup-capable session
+}
+
 // sendWindow pipelines one window of batch calls: issue all (buffered),
-// one flush, then collect.
-func (cc *clientConn) sendWindow(ctx context.Context, calls []Invocation, replies []Reply) {
-	type slot struct {
+// one flush, then collect. slots[i] records each call's sent state for
+// the exactly-once retry pass in CallBatch.
+func (cc *clientConn) sendWindow(ctx context.Context, calls []Invocation, replies []Reply, slots []batchSlot) {
+	type pend struct {
 		ch chan outcome
 		id uint64
 	}
-	slots := make([]slot, len(calls))
+	pends := make([]pend, len(calls))
 	issued := 0
 	for i, inv := range calls {
-		ch, id, err := cc.issue(ctx, inv.Proc, inv.Args, false)
+		ch, id, sent, err := cc.issue(ctx, slots[i].seq, inv.Proc, inv.Args, false)
+		slots[i].sent = sent
+		if sent && cc.welcome.Session != 0 {
+			slots[i].sentInc = cc.welcome.Incarnation
+		}
 		if err != nil {
 			replies[i].Err = err
 			continue
 		}
-		slots[i] = slot{ch: ch, id: id}
+		pends[i] = pend{ch: ch, id: id}
 		issued++
 	}
 	if issued > 0 {
@@ -539,10 +732,10 @@ func (cc *clientConn) sendWindow(ctx context.Context, calls []Invocation, replie
 		}
 	}
 	for i := range calls {
-		if slots[i].ch == nil {
+		if pends[i].ch == nil {
 			continue
 		}
-		replies[i].Result, replies[i].Err = cc.await(ctx, slots[i].id, slots[i].ch)
+		replies[i].Result, replies[i].Err = cc.await(ctx, pends[i].id, pends[i].ch)
 	}
 }
 
@@ -591,6 +784,9 @@ func (cc *clientConn) close(cause error) error {
 	}
 	for _, ch := range pend {
 		ch <- outcome{err: cause}
+	}
+	if !first {
+		return nil // socket already closed by the first closer
 	}
 	return cc.nc.Close()
 }

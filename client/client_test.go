@@ -3,7 +3,9 @@ package client
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,21 +16,34 @@ import (
 
 // fakeServer speaks just enough of the wire protocol to unit-test the
 // client: handshake, then a caller-supplied handler per CALL frame.
-// The handler returns the encoded response frame (nil = no response).
+// The handler returns the encoded response frame (nil = no response,
+// killConn = drop the connection on the floor).
 type fakeServer struct {
 	t       *testing.T
 	l       net.Listener
 	handler func(f wire.Frame, c wire.Call) []byte
+	// welcome shapes the handshake reply per connection (nil = a
+	// legacy v1-style welcome with no session fields). The conn number
+	// is 1-based in accept order.
+	welcome func(h wire.Hello, connNo int64) wire.Welcome
 	conns   atomic.Int64
 }
 
+// killConn, returned from a handler, makes the fake server drop the
+// connection without answering — the ambiguous window.
+var killConn = []byte{}
+
 func newFakeServer(t *testing.T, handler func(f wire.Frame, c wire.Call) []byte) *fakeServer {
+	return newFakeServerW(t, nil, handler)
+}
+
+func newFakeServerW(t *testing.T, welcome func(wire.Hello, int64) wire.Welcome, handler func(f wire.Frame, c wire.Call) []byte) *fakeServer {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
-	fs := &fakeServer{t: t, l: l, handler: handler}
+	fs := &fakeServer{t: t, l: l, handler: handler, welcome: welcome}
 	go fs.acceptLoop()
 	t.Cleanup(func() {
 		if err := l.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
@@ -46,12 +61,11 @@ func (fs *fakeServer) acceptLoop() {
 		if err != nil {
 			return
 		}
-		fs.conns.Add(1)
-		go fs.serve(nc)
+		go fs.serve(nc, fs.conns.Add(1))
 	}
 }
 
-func (fs *fakeServer) serve(nc net.Conn) {
+func (fs *fakeServer) serve(nc net.Conn, connNo int64) {
 	defer func() {
 		if err := nc.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			fs.t.Logf("fake conn close: %v", err)
@@ -62,9 +76,15 @@ func (fs *fakeServer) serve(nc net.Conn) {
 	if err != nil || f.Op != wire.OpHello {
 		return
 	}
-	if _, err := nc.Write(wire.AppendWelcome(nil, wire.Welcome{
-		MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 4, Server: "fake",
-	})); err != nil {
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return
+	}
+	w := wire.Welcome{MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 4, Server: "fake"}
+	if fs.welcome != nil {
+		w = fs.welcome(h, connNo)
+	}
+	if _, err := nc.Write(wire.AppendWelcome(nil, w)); err != nil {
 		return
 	}
 	for {
@@ -77,9 +97,27 @@ func (fs *fakeServer) serve(nc net.Conn) {
 			return
 		}
 		if resp := fs.handler(f, c); resp != nil {
+			if len(resp) == 0 {
+				return // killConn: die without answering
+			}
 			if _, err := nc.Write(resp); err != nil {
 				return
 			}
+		}
+	}
+}
+
+// sessionWelcome is a welcome func granting dedup-capable sessions
+// under one fixed incarnation.
+func sessionWelcome(inc uint64) func(wire.Hello, int64) wire.Welcome {
+	return func(h wire.Hello, _ int64) wire.Welcome {
+		sess := h.Session
+		if sess == 0 {
+			sess = 0xAB
+		}
+		return wire.Welcome{
+			MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 4, Server: "fake",
+			Session: sess, Incarnation: inc, DedupWindow: 64,
 		}
 	}
 }
@@ -300,5 +338,253 @@ func TestReconnect(t *testing.T) {
 	}
 	if got := fs.conns.Load(); got < 2 {
 		t.Fatalf("server saw %d connections, want ≥ 2 (reconnect)", got)
+	}
+}
+
+// TestRetryDelayShape pins the backoff curve: exponential from base,
+// jittered into [d/2, d], capped at RetryMax even when the shift
+// overflows, and floored at the server's hint.
+func TestRetryDelayShape(t *testing.T) {
+	lowJitter := func(int64) int64 { return 0 }
+	highJitter := func(n int64) int64 { return n - 1 }
+	base, max := time.Millisecond, 100*time.Millisecond
+
+	// Attempt 1 draws from [base/2, base].
+	if d := retryDelay(base, max, 0, 1, lowJitter); d != base/2 {
+		t.Fatalf("attempt 1 low jitter = %v, want %v", d, base/2)
+	}
+	if d := retryDelay(base, max, 0, 1, highJitter); d != base {
+		t.Fatalf("attempt 1 high jitter = %v, want %v", d, base)
+	}
+	// Attempt 4 has tripled twice more: base<<3.
+	if d := retryDelay(base, max, 0, 4, highJitter); d != base<<3 {
+		t.Fatalf("attempt 4 high jitter = %v, want %v", d, base<<3)
+	}
+	// Attempt 10 would be 512ms: capped at max.
+	if d := retryDelay(base, max, 0, 10, highJitter); d != max {
+		t.Fatalf("attempt 10 = %v, want cap %v", d, max)
+	}
+	// Huge attempt counts must cap cleanly, not overflow the shift.
+	for _, attempt := range []int{40, 62, 63, 64, 100} {
+		if d := retryDelay(base, max, 0, attempt, highJitter); d != max {
+			t.Fatalf("attempt %d high jitter = %v, want cap %v", attempt, d, max)
+		}
+		if d := retryDelay(base, max, 0, attempt, lowJitter); d != max/2 {
+			t.Fatalf("attempt %d low jitter = %v, want %v", attempt, d, max/2)
+		}
+	}
+	// The server hint floors the sleep; a small hint does not shrink it.
+	if d := retryDelay(base, max, 50*time.Millisecond, 1, lowJitter); d != 50*time.Millisecond {
+		t.Fatalf("hinted delay = %v, want the 50ms floor", d)
+	}
+	if d := retryDelay(base, max, time.Microsecond, 1, highJitter); d != base {
+		t.Fatalf("small hint raised delay to %v, want %v", d, base)
+	}
+	// Real random draws stay inside the attempt's jitter band.
+	lo, hi := (base<<2)/2, base<<2
+	for i := 0; i < 1000; i++ {
+		if d := retryDelay(base, max, 0, 3, rand.Int63n); d < lo || d > hi {
+			t.Fatalf("attempt 3 draw %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+// TestTransparentRetrySameSeq: a connection dropped after the call was
+// sent must be retried transparently on a fresh connection under the
+// SAME sequence number — the client half of exactly-once.
+func TestTransparentRetrySameSeq(t *testing.T) {
+	var mu sync.Mutex
+	var seen []uint64
+	fs := newFakeServerW(t, sessionWelcome(0x1111), func(f wire.Frame, c wire.Call) []byte {
+		mu.Lock()
+		seen = append(seen, c.Seq)
+		n := len(seen)
+		mu.Unlock()
+		if n == 1 {
+			return killConn
+		}
+		return resultFrame(f.ID, wire.Output{Name: "x", Vals: []storage.Value{storage.Int(7)}})
+	})
+	cl, err := Dial(fs.addr(), Options{RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	res, err := cl.Call(context.Background(), "P")
+	if err != nil {
+		t.Fatalf("call through dropped conn: %v", err)
+	}
+	if got := res.Val("x").Int(); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("server saw %d sends, want 2 (original + retry)", len(seen))
+	}
+	if seen[0] == 0 || seen[0] != seen[1] {
+		t.Fatalf("retry seq %d != original seq %d (or zero)", seen[1], seen[0])
+	}
+}
+
+// TestIncarnationChangeSurfacesMaybeCommitted: when the server holding
+// an unanswered attempt restarts (new incarnation), the client must
+// NOT re-send — the dedup window is gone — and must surface the typed
+// ambiguity instead.
+func TestIncarnationChangeSurfacesMaybeCommitted(t *testing.T) {
+	var calls atomic.Int64
+	fs := newFakeServerW(t, func(h wire.Hello, connNo int64) wire.Welcome {
+		sess := h.Session
+		if sess == 0 {
+			sess = 0xAB
+		}
+		return wire.Welcome{
+			MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 4, Server: "fake",
+			Session: sess, Incarnation: uint64(connNo), DedupWindow: 64,
+		}
+	}, func(f wire.Frame, c wire.Call) []byte {
+		calls.Add(1)
+		return killConn
+	})
+	cl, err := Dial(fs.addr(), Options{RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, err = cl.Call(context.Background(), "P")
+	if !errors.Is(err, ErrMaybeCommitted) {
+		t.Fatalf("err = %v, want ErrMaybeCommitted", err)
+	}
+	var mce *MaybeCommittedError
+	if !errors.As(err, &mce) || mce.Cause == nil {
+		t.Fatalf("err = %v, want *MaybeCommittedError with cause", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d sends, want 1 (no blind re-send across incarnations)", got)
+	}
+}
+
+// TestDedupDisabledAmbiguityImmediate: with no session granted, a
+// sent-but-unanswered call has no safe retry and must surface the
+// ambiguity without re-dialing.
+func TestDedupDisabledAmbiguityImmediate(t *testing.T) {
+	var calls atomic.Int64
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		calls.Add(1)
+		return killConn
+	})
+	cl, err := Dial(fs.addr(), Options{RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, err = cl.Call(context.Background(), "P")
+	if !errors.Is(err, ErrMaybeCommitted) {
+		t.Fatalf("err = %v, want ErrMaybeCommitted", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d sends, want 1", got)
+	}
+}
+
+// TestBudgetPropagation: a context deadline rides the call frame as a
+// microsecond budget; no deadline means budget 0.
+func TestBudgetPropagation(t *testing.T) {
+	var withDeadline, without atomic.Int64
+	fs := newFakeServer(t, func(f wire.Frame, c wire.Call) []byte {
+		if c.Proc == "Deadline" {
+			withDeadline.Store(int64(c.BudgetUS))
+		} else {
+			without.Store(int64(c.BudgetUS))
+		}
+		return resultFrame(f.ID)
+	})
+	cl, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Call(ctx, "Deadline"); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if got := withDeadline.Load(); got <= 0 || got > 500_000 {
+		t.Fatalf("budget = %dµs, want in (0, 500000]", got)
+	}
+	if _, err := cl.Call(context.Background(), "NoDeadline"); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if got := without.Load(); got != 0 {
+		t.Fatalf("budget without deadline = %dµs, want 0", got)
+	}
+}
+
+// TestSessionReusedAcrossReconnect: every redial presents the token
+// minted by the first handshake, so one client is one session.
+func TestSessionReusedAcrossReconnect(t *testing.T) {
+	var mu sync.Mutex
+	var hellos []uint64
+	fs := newFakeServerW(t, func(h wire.Hello, connNo int64) wire.Welcome {
+		mu.Lock()
+		hellos = append(hellos, h.Session)
+		mu.Unlock()
+		return sessionWelcome(0x2222)(h, connNo)
+	}, func(f wire.Frame, c wire.Call) []byte {
+		return resultFrame(f.ID)
+	})
+	cl, err := Dial(fs.addr(), Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if _, err := cl.Call(context.Background(), "P"); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	// Break the pooled conn; the next call redials.
+	cl.mu.Lock()
+	for _, cc := range cl.pool {
+		if cc != nil {
+			if err := cc.close(errors.New("simulated drop")); err != nil && !errors.Is(err, net.ErrClosed) {
+				t.Logf("drop: %v", err)
+			}
+		}
+	}
+	cl.mu.Unlock()
+	if _, err := cl.Call(context.Background(), "P"); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hellos) < 2 {
+		t.Fatalf("server saw %d handshakes, want ≥ 2", len(hellos))
+	}
+	if hellos[0] != 0 {
+		t.Fatalf("first hello presented session %#x, want 0 (mint)", hellos[0])
+	}
+	for _, h := range hellos[1:] {
+		if h != 0xAB {
+			t.Fatalf("redial presented session %#x, want the minted 0xAB", h)
+		}
 	}
 }

@@ -11,20 +11,24 @@ import (
 	"time"
 
 	"thedb/client"
+	"thedb/internal/netfault"
 	"thedb/internal/wire"
 	"thedb/internal/workload/ycsb"
 )
 
-// netOpts carries the -net.* flag values for a remote benchmark run.
+// netOpts carries the -net.* and -chaos.* flag values for a remote
+// benchmark run.
 type netOpts struct {
-	addr     string
-	clients  int
-	conns    int
-	pipeline int
-	mix      string
-	records  int
-	theta    float64
-	duration time.Duration
+	addr      string
+	clients   int
+	conns     int
+	pipeline  int
+	mix       string
+	records   int
+	theta     float64
+	duration  time.Duration
+	chaos     bool
+	chaosSeed uint64
 }
 
 // netBench drives a YCSB mix against a remote thedb-server over the
@@ -39,7 +43,33 @@ func netBench(o netOpts) error {
 	if !ok {
 		return fmt.Errorf("unknown -net.mix %q (want a, b, c or f)", o.mix)
 	}
-	cl, err := client.Dial(o.addr, client.Options{Conns: o.conns})
+	// With -chaos.net, every client connection runs through a
+	// fault-injecting proxy: the throughput and ambiguity numbers then
+	// measure the serving plane under adversity, not the happy path.
+	target := o.addr
+	var proxy *netfault.Proxy
+	if o.chaos {
+		var perr error
+		proxy, perr = netfault.New(o.addr, netfault.Config{
+			Seed:       o.chaosSeed,
+			PResetPre:  0.002,
+			PResetMid:  0.002,
+			PResetPost: 0.004,
+			PDelay:     0.01,
+			PBlackhole: 0.001,
+			PDuplicate: 0.002,
+		})
+		if perr != nil {
+			return fmt.Errorf("chaos proxy: %w", perr)
+		}
+		defer func() {
+			if cerr := proxy.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "net bench: closing chaos proxy:", cerr)
+			}
+		}()
+		target = proxy.Addr()
+	}
+	cl, err := client.Dial(target, client.Options{Conns: o.conns})
 	if err != nil {
 		return err
 	}
@@ -49,7 +79,7 @@ func netBench(o netOpts) error {
 		}
 	}()
 
-	var committed, aborted, failed atomic.Int64
+	var committed, aborted, ambiguous, failed atomic.Int64
 	var mu sync.Mutex
 	var latencies []time.Duration // per-batch round-trip, all clients
 
@@ -78,6 +108,12 @@ func netBench(o netOpts) error {
 						committed.Add(1)
 					case errors.Is(r.Err, context.DeadlineExceeded), errors.Is(r.Err, context.Canceled):
 						// Clock ran out mid-batch; not a failure.
+					case errors.Is(r.Err, client.ErrMaybeCommitted):
+						// The fault proxy ate the ack; the outcome is
+						// honestly unknown. A real application would
+						// reconcile by reading back; the bench just
+						// counts it.
+						ambiguous.Add(1)
 					default:
 						var re *wire.RemoteError
 						if errors.As(r.Err, &re) && re.Code == wire.CodeAbort {
@@ -99,8 +135,15 @@ func netBench(o netOpts) error {
 	tps := float64(committed.Load()) / wall.Seconds()
 	fmt.Printf("net bench: %s mix=%s clients=%d conns=%d pipeline=%d records=%d theta=%.2f\n",
 		o.addr, o.mix, o.clients, o.conns, o.pipeline, o.records, o.theta)
-	fmt.Printf("  committed %d (%.0f txn/s), aborted %d, failed %d in %v\n",
-		committed.Load(), tps, aborted.Load(), failed.Load(), wall.Round(time.Millisecond))
+	fmt.Printf("  committed %d (%.0f txn/s), aborted %d, ambiguous %d, failed %d in %v\n",
+		committed.Load(), tps, aborted.Load(), ambiguous.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if proxy != nil {
+		fmt.Printf("  chaos: seed %d, %d faults injected (pre=%d mid=%d post=%d delay=%d hole=%d dup=%d)\n",
+			o.chaosSeed, proxy.Injected(),
+			proxy.Count(netfault.FaultResetPreWrite), proxy.Count(netfault.FaultResetMidWrite),
+			proxy.Count(netfault.FaultResetPostWrite), proxy.Count(netfault.FaultDelay),
+			proxy.Count(netfault.FaultBlackhole), proxy.Count(netfault.FaultDuplicate))
+	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pct := func(p float64) time.Duration {

@@ -76,6 +76,7 @@ func main() {
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port")
 	ycsbRecords := flag.Int("ycsb.records", 100000, "YCSB table size")
 	sbAccounts := flag.Int("sb.accounts", 10000, "Smallbank account count")
+	dedupWindow := flag.Int("dedup.window", 0, "per-session cache of completed responses for exactly-once retries (0 = default 256, negative disables)")
 	flag.Parse()
 
 	cfg := thedb.Config{Protocol: thedb.Healing, Workers: *workers, EventBuffer: 256}
@@ -131,7 +132,7 @@ func main() {
 		}
 	}
 
-	srv := server.New(db, server.Config{})
+	srv := server.New(db, server.Config{DedupWindow: *dedupWindow})
 
 	if *obsAddr != "" {
 		plane := db.ObsPlane()

@@ -1,0 +1,48 @@
+package fault
+
+// Stream is a standalone seeded splitmix64 decision stream — the same
+// generator Schedule runs per worker slot, exported so other fault
+// harnesses (notably internal/netfault's chaos proxy) draw their
+// decisions from the sanctioned deterministic source instead of
+// math/rand. Two streams built from the same seed produce identical
+// sequences; Derive decorrelates sub-streams (one per proxied
+// connection, say) without sharing state.
+//
+// A Stream is not safe for concurrent use; give each goroutine its
+// own (Derive is cheap).
+type Stream struct {
+	state uint64
+}
+
+// NewStream seeds a fresh stream.
+func NewStream(seed uint64) *Stream {
+	// The same offset-by-golden-ratio trick NewSchedule uses keeps
+	// seed 0 from producing the all-zero fixed point.
+	return &Stream{state: seed + 1}
+}
+
+// Derive builds an independent stream decorrelated from this one by
+// index i, without advancing the parent. Deterministic: the same
+// (seed, i) pair always yields the same child sequence.
+func (s *Stream) Derive(i uint64) *Stream {
+	return NewStream(mix64(s.state + i*0x9e3779b97f4a7c15))
+}
+
+// Uint64 advances the stream and returns the next 64-bit draw.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+// Float returns the next draw as a float in [0, 1).
+func (s *Stream) Float() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns the next draw reduced to [0, n). n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Stream.Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}

@@ -37,6 +37,34 @@ type Server struct {
 	// BytesIn / BytesOut count raw connection bytes, frames included.
 	BytesIn  int64
 	BytesOut int64
+
+	// DedupHits counts calls answered from a session's dedup window:
+	// the retry of an already-completed (session, seq) was served the
+	// cached response instead of executing again.
+	DedupHits int64
+
+	// DedupCoalesced counts retries that arrived while the original
+	// attempt was still executing; they waited for its single execution
+	// instead of starting another.
+	DedupCoalesced int64
+
+	// DedupEvicted counts completed entries pushed out of a session's
+	// bounded dedup window. An evicted entry's retry would re-execute,
+	// so sustained eviction under retry load is a sizing signal.
+	DedupEvicted int64
+
+	// DedupEntries is the gauge of completed responses currently held
+	// across all sessions' dedup windows.
+	DedupEntries int64
+
+	// Sessions is the gauge of live client sessions; SessionsEvicted
+	// counts idle sessions discarded to stay under the registry cap.
+	Sessions        int64
+	SessionsEvicted int64
+
+	// DeadlineRejected counts calls refused because their deadline
+	// budget was already exhausted when the server would have run them.
+	DeadlineRejected int64
 }
 
 // Inc atomically adds 1 to a counter field of this collector; Add
@@ -65,6 +93,14 @@ type ServerCounters struct {
 	BadFrames     int64
 	BytesIn       int64
 	BytesOut      int64
+
+	DedupHits        int64
+	DedupCoalesced   int64
+	DedupEvicted     int64
+	DedupEntries     int64
+	Sessions         int64
+	SessionsEvicted  int64
+	DeadlineRejected int64
 }
 
 // Snapshot returns an atomically-read copy, safe to take while the
@@ -80,5 +116,12 @@ func (s *Server) Snapshot() ServerCounters {
 	c.BadFrames = atomic.LoadInt64(&s.BadFrames)
 	c.BytesIn = atomic.LoadInt64(&s.BytesIn)
 	c.BytesOut = atomic.LoadInt64(&s.BytesOut)
+	c.DedupHits = atomic.LoadInt64(&s.DedupHits)
+	c.DedupCoalesced = atomic.LoadInt64(&s.DedupCoalesced)
+	c.DedupEvicted = atomic.LoadInt64(&s.DedupEvicted)
+	c.DedupEntries = atomic.LoadInt64(&s.DedupEntries)
+	c.Sessions = atomic.LoadInt64(&s.Sessions)
+	c.SessionsEvicted = atomic.LoadInt64(&s.SessionsEvicted)
+	c.DeadlineRejected = atomic.LoadInt64(&s.DeadlineRejected)
 	return c
 }

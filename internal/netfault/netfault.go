@@ -1,0 +1,423 @@
+// Package netfault is the network counterpart of internal/fault: a
+// fault-injecting TCP proxy that sits between a thedb client and
+// server and misbehaves at wire-frame boundaries, deterministically,
+// from a seed.
+//
+// The engine-level chaos harness (fault.Schedule) proves the protocol
+// survives adversity inside the process; this proxy proves the
+// serving plane survives adversity on the wire — the failure the
+// healing argument meets at the network layer. A connection cut after
+// a CALL frame is written leaves the client unable to distinguish
+// "never executed" from "committed but un-acked"; the proxy
+// manufactures exactly those cuts (plus delays, blackholes and
+// duplicate deliveries) so the (session, seq) dedup machinery can be
+// tortured end to end.
+//
+// # Fault model
+//
+// The client→server pump parses frame boundaries and draws one
+// decision per CALL frame from a splitmix64 stream derived from
+// (Config.Seed, connection index) — the same sanctioned randomness
+// Schedule uses, so a failing seed replays. Handshake frames pass
+// clean: faults land on operations, where retry semantics live. The
+// server→client leg is a plain byte pump; response loss is covered by
+// FaultResetPostWrite, which delivers the call and then kills the
+// connection before the response can travel back.
+//
+// Anything that stops looking like the protocol (bad magic, an
+// over-large length field) demotes the connection to raw passthrough:
+// the proxy never eats bytes it cannot frame.
+package netfault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thedb/internal/fault"
+	"thedb/internal/wire"
+)
+
+// Fault enumerates the proxy's per-frame actions.
+type Fault int
+
+// Faults, in decision order.
+const (
+	// FaultNone forwards the frame untouched.
+	FaultNone Fault = iota
+	// FaultResetPreWrite cuts the connection before the frame reaches
+	// the server: the call never executed, the client sees a broken
+	// conn. Unambiguously retryable — if the client can tell.
+	FaultResetPreWrite
+	// FaultResetMidWrite forwards a strict prefix of the frame, then
+	// cuts: the server sees a torn frame and drops the connection too.
+	FaultResetMidWrite
+	// FaultResetPostWrite forwards the whole frame, then cuts: the
+	// server executes the call but the response never travels back.
+	// This is the ambiguous case exactly-once retries exist for.
+	FaultResetPostWrite
+	// FaultDelay holds the frame for Config.Delay, then forwards it.
+	FaultDelay
+	// FaultBlackhole stops forwarding entirely — the connection stays
+	// open and silent for Config.Stall, then is cut, the way a dead
+	// middlebox drops traffic until someone times out.
+	FaultBlackhole
+	// FaultDuplicate forwards the frame twice back to back, as a
+	// retransmitting network path would.
+	FaultDuplicate
+
+	numFaults
+)
+
+// String names a fault for diagnostics.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultResetPreWrite:
+		return "reset-pre-write"
+	case FaultResetMidWrite:
+		return "reset-mid-write"
+	case FaultResetPostWrite:
+		return "reset-post-write"
+	case FaultDelay:
+		return "delay"
+	case FaultBlackhole:
+		return "blackhole"
+	case FaultDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Config tunes a Proxy. Probabilities are per CALL frame and are
+// evaluated in declaration order against one draw, so their sum must
+// stay at or below 1.
+type Config struct {
+	// Seed drives every decision stream; the same seed against the
+	// same traffic order replays the same faults.
+	Seed uint64
+
+	// Per-frame fault probabilities (all default 0: a transparent
+	// proxy).
+	PResetPre  float64
+	PResetMid  float64
+	PResetPost float64
+	PDelay     float64
+	PBlackhole float64
+	PDuplicate float64
+
+	// Delay is the FaultDelay hold time (default 1ms).
+	Delay time.Duration
+
+	// Stall is how long a blackholed connection stays open and silent
+	// before the proxy cuts it (default 100ms). Bounded so a client
+	// with no per-attempt timeout still gets unwedged.
+	Stall time.Duration
+
+	// DialTimeout bounds the proxy's dial to the target (default 2s).
+	DialTimeout time.Duration
+
+	// MaxFrame bounds the frame lengths the proxy will parse (default
+	// wire.DefaultMaxFrame); larger length fields demote the
+	// connection to raw passthrough rather than buffering.
+	MaxFrame int
+}
+
+func (c *Config) fill() {
+	if c.Delay <= 0 {
+		c.Delay = time.Millisecond
+	}
+	if c.Stall <= 0 {
+		c.Stall = 100 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+}
+
+// Proxy is a fault-injecting TCP forwarder. Point clients at Addr;
+// traffic flows to the current target (Retarget swaps it, e.g. after
+// a server restart on a new port).
+type Proxy struct {
+	cfg    Config
+	l      net.Listener
+	target atomic.Value // string
+
+	mu    sync.Mutex
+	links map[*link]struct{}
+
+	closed  atomic.Bool
+	connSeq atomic.Uint64
+	counts  [numFaults]atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// link is one proxied connection pair. mute flips when a fault has
+// decided the client must never hear back (post-write reset,
+// blackhole); the downstream pump then swallows server bytes instead
+// of forwarding them, so response suppression is deterministic rather
+// than a race between the server's write and the cut.
+type link struct {
+	client net.Conn
+	server net.Conn
+	mute   atomic.Bool
+	once   sync.Once
+}
+
+// cut severs both legs exactly once. Close errors are ignored by
+// design: the whole point of the proxy is to kill sockets that may
+// already be dying.
+func (ln *link) cut() {
+	ln.once.Do(func() {
+		_ = ln.client.Close()
+		_ = ln.server.Close()
+	})
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	cfg.fill()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfault: listen: %w", err)
+	}
+	p := &Proxy{cfg: cfg, l: l, links: map[*link]struct{}{}}
+	p.target.Store(target)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what clients should dial.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Retarget points future connections at a new backend address.
+// Existing links keep flowing to the old one; CutAll kills them.
+func (p *Proxy) Retarget(addr string) { p.target.Store(addr) }
+
+// CutAll severs every live proxied connection — the client-visible
+// shape of a server crash (every socket dies at once), usable
+// independently of how the backend actually goes down.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.links))
+	for ln := range p.links {
+		links = append(links, ln)
+	}
+	p.mu.Unlock()
+	for _, ln := range links {
+		ln.cut()
+	}
+}
+
+// Count returns how many times fault f fired.
+func (p *Proxy) Count(f Fault) int64 {
+	if f < 0 || f >= numFaults {
+		return 0
+	}
+	return p.counts[f].Load()
+}
+
+// Injected totals every non-none fault fired.
+func (p *Proxy) Injected() int64 {
+	var n int64
+	for f := FaultResetPreWrite; f < numFaults; f++ {
+		n += p.counts[f].Load()
+	}
+	return n
+}
+
+// Close stops accepting, severs every link, and waits for the pump
+// goroutines to drain.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.l.Close()
+	p.CutAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		idx := p.connSeq.Add(1)
+		p.wg.Add(1)
+		go p.serve(nc, idx)
+	}
+}
+
+// serve dials the target and runs the two pumps for one client
+// connection.
+func (p *Proxy) serve(client net.Conn, idx uint64) {
+	defer p.wg.Done()
+	target, _ := p.target.Load().(string)
+	server, err := net.DialTimeout("tcp", target, p.cfg.DialTimeout)
+	if err != nil {
+		// Backend unreachable (restarting, retargeted to a dead
+		// address): the client sees its connection refused-by-cut,
+		// which is the honest translation.
+		_ = client.Close()
+		return
+	}
+	ln := &link{client: client, server: server}
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		ln.cut()
+		return
+	}
+	p.links[ln] = struct{}{}
+	p.mu.Unlock()
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() {
+		defer pumps.Done()
+		p.pumpUp(ln, fault.NewStream(p.cfg.Seed).Derive(idx))
+		ln.cut()
+	}()
+	go func() {
+		defer pumps.Done()
+		p.pumpDown(ln)
+		ln.cut()
+	}()
+	pumps.Wait()
+	p.mu.Lock()
+	delete(p.links, ln)
+	p.mu.Unlock()
+}
+
+// pumpUp forwards client→server frame by frame, injecting faults at
+// CALL boundaries.
+func (p *Proxy) pumpUp(ln *link, stream *fault.Stream) {
+	hdr := make([]byte, wire.HeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(ln.client, hdr); err != nil {
+			return
+		}
+		if binary.LittleEndian.Uint16(hdr[0:2]) != wire.Magic {
+			p.passthrough(ln, hdr)
+			return
+		}
+		length := binary.LittleEndian.Uint32(hdr[12:16])
+		if uint64(length) > uint64(p.cfg.MaxFrame) {
+			p.passthrough(ln, hdr)
+			return
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(ln.client, payload); err != nil {
+			return
+		}
+		frame := append(append(make([]byte, 0, len(hdr)+len(payload)), hdr...), payload...)
+
+		act := FaultNone
+		if hdr[3] == wire.OpCall {
+			act = p.decide(stream)
+		}
+		if act != FaultNone {
+			p.counts[act].Add(1)
+		}
+		switch act {
+		case FaultResetPreWrite:
+			return
+		case FaultResetMidWrite:
+			n := 1 + stream.Intn(len(frame)-1)
+			_, _ = ln.server.Write(frame[:n])
+			return
+		case FaultResetPostWrite:
+			// Mute before forwarding: the call reaches the server,
+			// its response never reaches the client — the ambiguous
+			// window, deterministically.
+			ln.mute.Store(true)
+			_, _ = ln.server.Write(frame)
+			return
+		case FaultDelay:
+			time.Sleep(p.cfg.Delay)
+		case FaultBlackhole:
+			// Hold the connection open and silent — both directions —
+			// then cut. The bounded stall is what lets clients without
+			// per-attempt timeouts escape (their conn dies and they
+			// re-dial).
+			ln.mute.Store(true)
+			time.Sleep(p.cfg.Stall)
+			return
+		case FaultDuplicate:
+			if _, err := ln.server.Write(frame); err != nil {
+				return
+			}
+		}
+		if _, err := ln.server.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+// pumpDown forwards server→client byte-wise, honoring mute: once a
+// fault has condemned the connection, response bytes are swallowed
+// rather than raced against the cut.
+func (p *Proxy) pumpDown(ln *link) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := ln.server.Read(buf)
+		if n > 0 && !ln.mute.Load() {
+			if _, werr := ln.client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// passthrough abandons frame parsing: forward the already-read bytes
+// and then copy raw until the connection dies. Non-protocol traffic
+// flows unharmed (and unfaulted).
+func (p *Proxy) passthrough(ln *link, buf []byte) {
+	if _, err := ln.server.Write(buf); err != nil {
+		return
+	}
+	_, _ = io.Copy(ln.server, ln.client)
+}
+
+// decide draws one fault decision. The probability bands are walked
+// in declaration order against a single uniform draw.
+func (p *Proxy) decide(stream *fault.Stream) Fault {
+	r := stream.Float()
+	for _, band := range []struct {
+		prob float64
+		act  Fault
+	}{
+		{p.cfg.PResetPre, FaultResetPreWrite},
+		{p.cfg.PResetMid, FaultResetMidWrite},
+		{p.cfg.PResetPost, FaultResetPostWrite},
+		{p.cfg.PDelay, FaultDelay},
+		{p.cfg.PBlackhole, FaultBlackhole},
+		{p.cfg.PDuplicate, FaultDuplicate},
+	} {
+		if r < band.prob {
+			return band.act
+		}
+		r -= band.prob
+	}
+	return FaultNone
+}

@@ -1,0 +1,266 @@
+package netfault
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thedb/internal/wire"
+)
+
+// echoServer is a minimal frame server: welcome on hello, an empty
+// result echoing the request id on every call. It counts calls, which
+// is how the tests observe what actually crossed the proxy.
+type echoServer struct {
+	l     net.Listener
+	calls atomic.Int64
+}
+
+func startEcho(t *testing.T) *echoServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	es := &echoServer{l: l}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go es.handle(nc)
+		}
+	}()
+	return es
+}
+
+func (es *echoServer) handle(nc net.Conn) {
+	defer func() { _ = nc.Close() }()
+	fr := wire.NewReader(nc, 0)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return
+		}
+		switch f.Op {
+		case wire.OpHello:
+			if _, err := nc.Write(wire.AppendWelcome(nil, wire.Welcome{
+				MaxFrame: wire.DefaultMaxFrame, MaxInFlight: 64, Server: "echo",
+			})); err != nil {
+				return
+			}
+		case wire.OpCall:
+			es.calls.Add(1)
+			if _, err := nc.Write(wire.AppendResult(nil, f.ID, nil)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dialVia dials the proxy and completes the handshake.
+func dialVia(t *testing.T, p *Proxy) (net.Conn, *wire.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	if err := nc.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := nc.Write(wire.AppendHello(nil, wire.Hello{Client: "netfault-test"})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	fr := wire.NewReader(nc, 0)
+	f, err := fr.Next()
+	if err != nil || f.Op != wire.OpWelcome {
+		t.Fatalf("welcome: op=%d err=%v", f.Op, err)
+	}
+	return nc, fr
+}
+
+func newProxy(t *testing.T, target string, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(target, cfg)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	es := startEcho(t)
+	p := newProxy(t, es.l.Addr().String(), Config{Seed: 1})
+	nc, fr := dialVia(t, p)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		if _, err := nc.Write(wire.AppendCall(nil, uint64(i), wire.Call{Proc: "x"})); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		f, err := fr.Next()
+		if err != nil || f.Op != wire.OpResult || f.ID != uint64(i) {
+			t.Fatalf("result %d: op=%d id=%d err=%v", i, f.Op, f.ID, err)
+		}
+	}
+	if got := es.calls.Load(); got != n {
+		t.Fatalf("server saw %d calls, want %d", got, n)
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("transparent proxy injected %d faults", p.Injected())
+	}
+}
+
+func TestProxyDuplicate(t *testing.T) {
+	es := startEcho(t)
+	p := newProxy(t, es.l.Addr().String(), Config{Seed: 2, PDuplicate: 1})
+	nc, fr := dialVia(t, p)
+	if _, err := nc.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	// Both copies reach the server (same request id), so two results
+	// come back.
+	for i := 0; i < 2; i++ {
+		f, err := fr.Next()
+		if err != nil || f.Op != wire.OpResult || f.ID != 1 {
+			t.Fatalf("response %d: op=%d id=%d err=%v", i, f.Op, f.ID, err)
+		}
+	}
+	if got := es.calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (duplicate delivery)", got)
+	}
+	if p.Count(FaultDuplicate) != 1 {
+		t.Fatalf("duplicate count = %d, want 1", p.Count(FaultDuplicate))
+	}
+}
+
+func TestProxyResetPreWrite(t *testing.T) {
+	es := startEcho(t)
+	p := newProxy(t, es.l.Addr().String(), Config{Seed: 3, PResetPre: 1})
+	nc, fr := dialVia(t, p)
+	if _, err := nc.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if _, err := fr.Next(); err == nil {
+		t.Fatalf("got a response through a pre-write reset")
+	}
+	// The frame never reached the server. (Poll briefly: the cut is
+	// asynchronous with the server's read loop.)
+	time.Sleep(50 * time.Millisecond)
+	if got := es.calls.Load(); got != 0 {
+		t.Fatalf("server saw %d calls through a pre-write reset", got)
+	}
+	if p.Count(FaultResetPreWrite) != 1 {
+		t.Fatalf("reset-pre count = %d, want 1", p.Count(FaultResetPreWrite))
+	}
+}
+
+func TestProxyResetPostWrite(t *testing.T) {
+	es := startEcho(t)
+	p := newProxy(t, es.l.Addr().String(), Config{Seed: 4, PResetPost: 1})
+	nc, fr := dialVia(t, p)
+	if _, err := nc.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	// The call executes on the server; the response never arrives —
+	// the ambiguous window exactly-once retries exist for.
+	if _, err := fr.Next(); err == nil {
+		t.Fatalf("got a response through a post-write reset")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for es.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never saw the post-write-reset call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProxyBlackholeBounded(t *testing.T) {
+	es := startEcho(t)
+	p := newProxy(t, es.l.Addr().String(), Config{Seed: 5, PBlackhole: 1, Stall: 30 * time.Millisecond})
+	nc, fr := dialVia(t, p)
+	start := time.Now()
+	if _, err := nc.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if _, err := fr.Next(); err == nil {
+		t.Fatalf("got a response through a blackhole")
+	}
+	// The stall is bounded: the connection died in roughly Stall, not
+	// at the 5s test deadline.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed connection took %v to die; stall bound not honored", elapsed)
+	}
+	if got := es.calls.Load(); got != 0 {
+		t.Fatalf("server saw %d calls through a blackhole", got)
+	}
+}
+
+func TestProxyRetargetAndCutAll(t *testing.T) {
+	es1 := startEcho(t)
+	es2 := startEcho(t)
+	p := newProxy(t, es1.l.Addr().String(), Config{Seed: 6})
+	nc1, fr1 := dialVia(t, p)
+	if _, err := nc1.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if f, err := fr1.Next(); err != nil || f.Op != wire.OpResult {
+		t.Fatalf("result via backend 1: %v", err)
+	}
+
+	// Simulate a restart: kill live links, point new ones elsewhere.
+	p.Retarget(es2.l.Addr().String())
+	p.CutAll()
+	if _, err := fr1.Next(); err == nil {
+		t.Fatalf("old connection survived CutAll")
+	}
+
+	nc2, fr2 := dialVia(t, p)
+	if _, err := nc2.Write(wire.AppendCall(nil, 1, wire.Call{Proc: "x"})); err != nil {
+		t.Fatalf("call after retarget: %v", err)
+	}
+	if f, err := fr2.Next(); err != nil || f.Op != wire.OpResult {
+		t.Fatalf("result via backend 2: %v", err)
+	}
+	if es2.calls.Load() != 1 || es1.calls.Load() != 1 {
+		t.Fatalf("calls landed wrong: backend1=%d backend2=%d", es1.calls.Load(), es2.calls.Load())
+	}
+}
+
+func TestProxyDeterministicDecisions(t *testing.T) {
+	// Same seed, same per-connection traffic → identical fault
+	// counts, independent of wall-clock.
+	run := func(seed uint64) [3]int64 {
+		es := startEcho(t)
+		p := newProxy(t, es.l.Addr().String(), Config{
+			Seed: seed, PResetPost: 0.2, PDelay: 0.2, PDuplicate: 0.2,
+			Delay: time.Microsecond,
+		})
+		// One connection at a time, so connection indices are stable.
+		for c := 0; c < 4; c++ {
+			nc, fr := dialVia(t, p)
+			for i := 1; i <= 25; i++ {
+				if _, err := nc.Write(wire.AppendCall(nil, uint64(i), wire.Call{Proc: "x"})); err != nil {
+					break // a reset fault killed this conn; move on
+				}
+				if f, err := fr.Next(); err != nil || f.Op != wire.OpResult {
+					break
+				}
+			}
+			_ = nc.Close()
+		}
+		return [3]int64{p.Count(FaultResetPostWrite), p.Count(FaultDelay), p.Count(FaultDuplicate)}
+	}
+	a, b := run(77), run(77)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[0]+a[1]+a[2] == 0 {
+		t.Fatalf("no faults fired at 60%% aggregate probability; decision stream broken")
+	}
+}

@@ -281,6 +281,13 @@ func TestWritePromServerFormat(t *testing.T) {
 	s.Inc(&s.DrainRejected)
 	s.Add(&s.BytesIn, 4096)
 	s.Add(&s.BytesOut, 8192)
+	s.Add(&s.DedupHits, 11)
+	s.Add(&s.DedupCoalesced, 4)
+	s.Add(&s.DedupEvicted, 2)
+	s.Add(&s.DedupEntries, 9)
+	s.Add(&s.Sessions, 6)
+	s.Inc(&s.SessionsEvicted)
+	s.Add(&s.DeadlineRejected, 5)
 
 	var sb strings.Builder
 	WritePromServer(&sb, s.Snapshot())
@@ -294,6 +301,13 @@ func TestWritePromServerFormat(t *testing.T) {
 		"thedb_server_draining_rejects_total": 1,
 		"thedb_server_bytes_in_total":         4096,
 		"thedb_server_bytes_out_total":        8192,
+		"thedb_server_dedup_hits_total":       11,
+		"thedb_server_dedup_coalesced_total":  4,
+		"thedb_server_dedup_evicted_total":    2,
+		"thedb_server_dedup_entries":          9,
+		"thedb_server_sessions":               6,
+		"thedb_server_sessions_evicted_total": 1,
+		"thedb_server_deadline_rejects_total": 5,
 	}
 	for name, want := range checks {
 		if got, ok := vals[name]; !ok || got != want {

@@ -86,6 +86,13 @@ func WritePromServer(w io.Writer, s metrics.ServerCounters) {
 	counter("thedb_server_bad_frames_total", "Protocol-violating frames answered with a bad-request error.", s.BadFrames)
 	counter("thedb_server_bytes_in_total", "Raw bytes read from client connections.", s.BytesIn)
 	counter("thedb_server_bytes_out_total", "Raw bytes written to client connections.", s.BytesOut)
+	counter("thedb_server_dedup_hits_total", "Retried calls answered from a session dedup window without re-executing.", s.DedupHits)
+	counter("thedb_server_dedup_coalesced_total", "Retried calls that joined an in-flight original instead of re-executing.", s.DedupCoalesced)
+	counter("thedb_server_dedup_evicted_total", "Completed responses evicted from bounded dedup windows.", s.DedupEvicted)
+	gauge("thedb_server_dedup_entries", "Completed responses currently cached across all session dedup windows.", float64(s.DedupEntries))
+	gauge("thedb_server_sessions", "Live client sessions in the registry.", float64(s.Sessions))
+	counter("thedb_server_sessions_evicted_total", "Idle sessions discarded to stay under the registry cap.", s.SessionsEvicted)
+	counter("thedb_server_deadline_rejects_total", "Calls refused because their deadline budget was exhausted before execution.", s.DeadlineRejected)
 }
 
 // WritePromCheckpoint renders the checkpoint subsystem's counters and

@@ -29,6 +29,11 @@ type conn struct {
 	nc  net.Conn
 	out chan []byte
 
+	// sess is the exactly-once session bound in the handshake (nil
+	// when dedup is disabled). Written once before the first call is
+	// admitted, read by the same read loop thereafter.
+	sess *session
+
 	reqs     sync.WaitGroup // this connection's admitted, unanswered requests
 	inflight atomic.Int64
 
@@ -129,6 +134,9 @@ func (c *conn) readLoop() {
 		// the writer for final flush + socket close.
 		c.reqs.Wait()
 		close(c.out)
+		if c.sess != nil {
+			c.sess.release()
+		}
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -187,7 +195,8 @@ func (c *conn) readLoop() {
 }
 
 // admit applies the admission policy to one decoded call: shed past
-// the per-connection bound, shed when the global queue is full,
+// the per-connection bound, refuse a dead deadline budget, dedup a
+// retried sequence number, shed when the global queue is full,
 // otherwise hand it to the dispatchers. Shedding always answers with
 // a retryable typed error plus backoff hint — never a silent drop.
 func (c *conn) admit(id uint64, call wire.Call) {
@@ -199,7 +208,20 @@ func (c *conn) admit(id uint64, call wire.Call) {
 		}))
 		return
 	}
-	req := &request{c: c, id: id, proc: call.Proc, args: call.Args}
+	req := &request{
+		c: c, id: id, proc: call.Proc, args: call.Args,
+		sess: c.sess, seq: call.Seq,
+		arrival: time.Now(), budget: time.Duration(call.BudgetUS) * time.Microsecond,
+	}
+	if req.budget > 0 && time.Since(req.arrival) >= req.budget {
+		// The caller's context died in transit; nothing was admitted,
+		// so answer plainly without touching the accounting or window.
+		s.stats.Inc(&s.stats.DeadlineRejected)
+		c.send(wire.AppendError(nil, id, wire.RemoteError{
+			Code: wire.CodeDeadline, Msg: "deadline budget exhausted at admission",
+		}))
+		return
+	}
 	// Account before offering: a dispatcher may pick the request up
 	// and finish it the instant it lands in the channel.
 	s.pending.Add(1)
@@ -209,23 +231,42 @@ func (c *conn) admit(id uint64, call wire.Call) {
 	if s.draining.Load() {
 		// Shutdown flipped the flag between the read loop's check and
 		// the increment above. Back out so the drain never waits on —
-		// or worse, misses — a request admitted behind its back.
-		s.finish(req)
+		// or worse, misses — a request admitted behind its back. No
+		// dedup entry exists yet, so a plain finish balances.
+		s.finish(c)
 		s.stats.Inc(&s.stats.DrainRejected)
 		c.send(wire.AppendError(nil, id, wire.RemoteError{
 			Code: wire.CodeDraining, Backoff: s.cfg.DrainHint, Msg: "server draining",
 		}))
 		return
 	}
+	if c.sess != nil && req.seq != 0 {
+		switch verdict, e := c.sess.register(req); verdict {
+		case dedupHit:
+			// Already executed: replay the cached response under the
+			// retry's request id. The transaction does not run again.
+			s.stats.Inc(&s.stats.DedupHits)
+			c.send(wire.AppendFrame(nil, e.op, id, e.payload))
+			s.finish(c)
+			return
+		case dedupJoined:
+			// The original attempt is still executing; this retry is
+			// parked on its entry and answered by respond when the one
+			// execution completes. Accounting stays held until then.
+			s.stats.Inc(&s.stats.DedupCoalesced)
+			return
+		case dedupNew:
+			req.entry = e
+		}
+	}
 	select {
 	case s.work <- req:
 		s.stats.Inc(&s.stats.Requests)
 	default:
-		s.finish(req)
 		s.stats.Inc(&s.stats.Shed)
-		c.send(wire.AppendError(nil, id, wire.RemoteError{
+		s.respond(req, wire.OpError, wire.AppendErrorPayload(nil, wire.RemoteError{
 			Code: wire.CodeShed, Backoff: s.cfg.ShedHint, Msg: "server at capacity",
-		}))
+		}), false)
 	}
 }
 
@@ -255,7 +296,8 @@ func (c *conn) handshake(fr *wire.Reader) bool {
 		}))
 		return false
 	}
-	if _, err := wire.DecodeHello(f.Payload); err != nil {
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
 		s.stats.Inc(&s.stats.BadFrames)
 		c.send(wire.AppendError(nil, f.ID, wire.RemoteError{
 			Code: wire.CodeBadRequest, Msg: "malformed HELLO: " + err.Error(),
@@ -265,11 +307,18 @@ func (c *conn) handshake(fr *wire.Reader) bool {
 	if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
 		return false
 	}
-	c.send(wire.AppendWelcome(nil, wire.Welcome{
+	w := wire.Welcome{
 		MaxFrame:    uint32(s.cfg.MaxFrame),
 		MaxInFlight: uint32(s.cfg.PerConnInFlight),
 		Server:      s.cfg.Banner,
-	}))
+		Incarnation: s.incarnation,
+	}
+	if s.cfg.DedupWindow > 0 {
+		c.sess = s.bindSession(h.Session)
+		w.Session = c.sess.token
+		w.DedupWindow = uint32(s.cfg.DedupWindow)
+	}
+	c.send(wire.AppendWelcome(nil, w))
 	return true
 }
 

@@ -78,6 +78,17 @@ type Config struct {
 	ShedHint      time.Duration
 	DrainHint     time.Duration
 
+	// DedupWindow bounds each session's cache of completed responses,
+	// used to answer retried calls without re-executing them (default
+	// 256; negative disables exactly-once dedup entirely). Advertised
+	// to clients in the handshake.
+	DedupWindow int
+
+	// MaxSessions caps the session registry (default 1024). At the
+	// cap, an idle session — no bound connections, nothing executing —
+	// is evicted to make room for a new one.
+	MaxSessions int
+
 	// Stats receives the serving plane's counters; New allocates one
 	// when nil. Share it with an obs.Plane via SetServerStats to get
 	// the thedb_server_* Prometheus series.
@@ -94,6 +105,18 @@ type request struct {
 	id   uint64
 	proc string
 	args []storage.Value
+
+	// Exactly-once plumbing: the connection's session, the call's
+	// per-session sequence number (0 = dedup opted out), and the dedup
+	// entry when this request owns the execution of a tracked seq.
+	sess  *session
+	seq   uint64
+	entry *dedupEntry
+
+	// arrival anchors the deadline budget: the call is refused once
+	// arrival+budget passes without the transaction having run.
+	arrival time.Time
+	budget  time.Duration
 }
 
 // Server serves a database's stored-procedure catalog over the wire
@@ -121,6 +144,13 @@ type Server struct {
 	mu        sync.Mutex
 	conns     map[*conn]struct{}
 	listeners map[net.Listener]struct{}
+
+	// incarnation identifies this server boot in the handshake; a
+	// client that re-sends an unanswered call and sees a different
+	// incarnation knows its dedup window is gone and must surface the
+	// ambiguity instead of retrying transparently.
+	incarnation uint64
+	sessions    registry
 
 	draining    atomic.Bool
 	dispatchers sync.Once
@@ -158,18 +188,29 @@ func New(db *thedb.DB, cfg Config) *Server {
 	if cfg.Banner == "" {
 		cfg.Banner = "thedb"
 	}
+	switch {
+	case cfg.DedupWindow == 0:
+		cfg.DedupWindow = 256
+	case cfg.DedupWindow < 0:
+		cfg.DedupWindow = 0 // dedup disabled
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
 	if cfg.Stats == nil {
 		cfg.Stats = &metrics.Server{}
 	}
 	return &Server{
-		db:        db,
-		cfg:       cfg,
-		stats:     cfg.Stats,
-		work:      make(chan *request, cfg.GlobalInFlight),
-		quit:      make(chan struct{}),
-		drainSig:  make(chan struct{}, 1),
-		conns:     map[*conn]struct{}{},
-		listeners: map[net.Listener]struct{}{},
+		db:          db,
+		cfg:         cfg,
+		stats:       cfg.Stats,
+		work:        make(chan *request, cfg.GlobalInFlight),
+		quit:        make(chan struct{}),
+		drainSig:    make(chan struct{}, 1),
+		conns:       map[*conn]struct{}{},
+		listeners:   map[net.Listener]struct{}{},
+		incarnation: uint64(time.Now().UnixNano()),
+		sessions:    registry{m: map[uint64]*session{}},
 	}
 }
 
@@ -238,25 +279,52 @@ func (s *Server) dispatch(sess *thedb.Session) {
 }
 
 // serveOne runs one admitted request to completion and enqueues its
-// response frame.
+// response frame. A request whose deadline budget expired while queued
+// is refused without executing: the caller's context is already dead,
+// so running the transaction would burn engine time on an answer
+// nobody reads.
 func (s *Server) serveOne(sess *thedb.Session, req *request) {
-	env, err := sess.Run(req.proc, req.args...)
-	var buf []byte
-	if err != nil {
-		buf = wire.AppendError(nil, req.id, s.mapError(err))
-	} else {
-		buf = wire.AppendResult(nil, req.id, outputsOf(env))
+	if req.budget > 0 && time.Since(req.arrival) >= req.budget {
+		s.stats.Inc(&s.stats.DeadlineRejected)
+		s.respond(req, wire.OpError, wire.AppendErrorPayload(nil, wire.RemoteError{
+			Code: wire.CodeDeadline, Msg: "deadline budget exhausted before execution",
+		}), false)
+		return
 	}
-	req.c.send(buf)
-	s.finish(req)
+	env, err := sess.Run(req.proc, req.args...)
+	if err != nil {
+		re := s.mapError(err)
+		// Cache only settled outcomes. A retryable rejection (shed,
+		// contended, draining) must re-execute on retry, not replay
+		// the rejection from the window.
+		s.respond(req, wire.OpError, wire.AppendErrorPayload(nil, re), !re.Retryable())
+		return
+	}
+	s.respond(req, wire.OpResult, wire.AppendResultPayload(nil, outputsOf(env)), true)
 }
 
-// finish releases an admitted request's accounting after its response
-// (or rejection) has been enqueued.
-func (s *Server) finish(req *request) {
+// respond answers an admitted request and any retries parked on its
+// dedup entry, releasing each one's accounting. cache controls whether
+// the response joins the session's dedup window for future retries.
+// Every completion path for a request that may own a dedup entry must
+// come through here — answering around it would strand parked waiters.
+func (s *Server) respond(req *request, op uint8, payload []byte, cache bool) {
+	if req.entry != nil {
+		for _, w := range req.sess.complete(s, req.entry, op, payload, cache, s.cfg.DedupWindow) {
+			w.c.send(wire.AppendFrame(nil, op, w.id, payload))
+			s.finish(w.c)
+		}
+	}
+	req.c.send(wire.AppendFrame(nil, op, req.id, payload))
+	s.finish(req.c)
+}
+
+// finish releases one admitted request's accounting on connection c
+// after its response (or rejection) has been enqueued.
+func (s *Server) finish(c *conn) {
 	s.stats.Add(&s.stats.InFlight, -1)
-	req.c.inflight.Add(-1)
-	req.c.reqs.Done()
+	c.inflight.Add(-1)
+	c.reqs.Done()
 	if s.pending.Add(-1) == 0 && s.draining.Load() {
 		select {
 		case s.drainSig <- struct{}{}:
@@ -339,10 +407,9 @@ waiting:
 		select {
 		case req := <-s.work:
 			s.stats.Inc(&s.stats.DrainRejected)
-			req.c.send(wire.AppendError(nil, req.id, wire.RemoteError{
+			s.respond(req, wire.OpError, wire.AppendErrorPayload(nil, wire.RemoteError{
 				Code: wire.CodeDraining, Backoff: s.cfg.DrainHint, Msg: "server draining",
-			}))
-			s.finish(req)
+			}), false)
 		default:
 			goto queueEmpty
 		}

@@ -23,16 +23,26 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a frame at all"))
 	f.Add(AppendHello(nil, Hello{Client: "fuzz-client"}))
+	f.Add(AppendHello(nil, Hello{Client: "rejoin", Session: 0xdeadbeef00000007}))
 	f.Add(AppendWelcome(nil, Welcome{MaxFrame: DefaultMaxFrame, MaxInFlight: 64, Server: "fuzz-server"}))
+	f.Add(AppendWelcome(nil, Welcome{
+		MaxFrame: 1 << 16, MaxInFlight: 8, Server: "fuzz-server/2",
+		Session: 0xdeadbeef00000007, Incarnation: 0x1122334455667788, DedupWindow: 256,
+	}))
 	f.Add(AppendCall(nil, 7, Call{Proc: "YCSBRead", Args: []storage.Value{storage.Int(42)}}))
 	f.Add(AppendCall(nil, 8, Call{Proc: "Mixed", Args: []storage.Value{
 		storage.Null, storage.Int(-5), storage.Float(2.5), storage.Str("str"),
 	}}))
+	// Exactly-once header fields: op sequence + deadline budget.
+	f.Add(AppendCall(nil, 12, Call{Proc: "KVInc", Seq: 41, BudgetUS: 250_000,
+		Args: []storage.Value{storage.Int(3), storage.Int(-7)}}))
+	f.Add(AppendCall(nil, 13, Call{Proc: "Edge", Seq: ^uint64(0), BudgetUS: 1}))
 	f.Add(AppendResult(nil, 9, []Output{
 		{Name: "v", Vals: []storage.Value{storage.Int(1)}},
 		{Name: "rows", List: true, Vals: []storage.Value{storage.Str("a"), storage.Str("b")}},
 	}))
 	f.Add(AppendError(nil, 10, RemoteError{Code: CodeShed, Backoff: time.Millisecond, Msg: "shed"}))
+	f.Add(AppendError(nil, 14, RemoteError{Code: CodeDeadline, Msg: "budget exhausted"}))
 	// Truncations and corruptions of a valid frame.
 	valid := AppendCall(nil, 11, Call{Proc: "P", Args: []storage.Value{storage.Str("x")}})
 	f.Add(valid[:HeaderSize])
@@ -93,7 +103,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				t.Fatalf("call round trip decode: %v", err)
 			}
-			if c2.Proc != c.Proc || len(c2.Args) != len(c.Args) {
+			if c2.Proc != c.Proc || c2.Seq != c.Seq || c2.BudgetUS != c.BudgetUS || len(c2.Args) != len(c.Args) {
 				t.Fatalf("call round trip: %+v -> %+v", c, c2)
 			}
 			for i := range c.Args {

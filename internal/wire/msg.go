@@ -23,6 +23,10 @@ const maxArgs = 1 << 16
 type Hello struct {
 	// Client names the client software (diagnostics only).
 	Client string
+	// Session is the client's session token from a previous Welcome,
+	// binding this connection into that session's dedup window. Zero
+	// asks the server to mint a fresh token.
+	Session uint64
 }
 
 // Welcome is the server's handshake acknowledgement, carrying the
@@ -33,45 +37,72 @@ type Welcome struct {
 	// MaxInFlight is the per-connection pipelining bound: requests
 	// beyond it are shed, so a client gains nothing by exceeding it.
 	MaxInFlight uint32
+	// Session is the session token this connection is bound to — the
+	// one presented in Hello, or a freshly minted one.
+	Session uint64
+	// Incarnation identifies this server process's boot. A client
+	// that re-sent an unanswered (session, seq) call must compare
+	// incarnations: the dedup window does not survive a restart, so a
+	// changed incarnation turns a transparent retry into an honest
+	// "may have committed" report.
+	Incarnation uint64
+	// DedupWindow is the per-session count of completed operations
+	// the server retains for duplicate suppression. Zero means dedup
+	// is disabled: every connection death is ambiguous.
+	DedupWindow uint32
 	// Server names the server software (diagnostics only).
 	Server string
 }
 
 // AppendHello appends an encoded OpHello frame (request id 0).
 func AppendHello(dst []byte, h Hello) []byte {
-	return AppendFrame(dst, OpHello, 0, appendString(nil, h.Client))
+	p := make([]byte, 0, 12+len(h.Client))
+	p = binary.LittleEndian.AppendUint64(p, h.Session)
+	p = appendString(p, h.Client)
+	return AppendFrame(dst, OpHello, 0, p)
 }
 
 // DecodeHello decodes an OpHello payload.
 func DecodeHello(p []byte) (Hello, error) {
-	client, rest, err := decodeString(p)
+	if len(p) < 8 {
+		return Hello{}, fmt.Errorf("wire: hello: %w: session token", ErrTruncated)
+	}
+	h := Hello{Session: binary.LittleEndian.Uint64(p[0:8])}
+	client, rest, err := decodeString(p[8:])
 	if err != nil {
 		return Hello{}, fmt.Errorf("wire: hello: %w", err)
 	}
 	if len(rest) != 0 {
 		return Hello{}, fmt.Errorf("wire: hello: %d trailing bytes", len(rest))
 	}
-	return Hello{Client: client}, nil
+	h.Client = client
+	return h, nil
 }
 
 // AppendWelcome appends an encoded OpWelcome frame (request id 0).
 func AppendWelcome(dst []byte, w Welcome) []byte {
-	p := make([]byte, 0, 16+len(w.Server))
+	p := make([]byte, 0, 32+len(w.Server))
 	p = binary.LittleEndian.AppendUint32(p, w.MaxFrame)
 	p = binary.LittleEndian.AppendUint32(p, w.MaxInFlight)
+	p = binary.LittleEndian.AppendUint64(p, w.Session)
+	p = binary.LittleEndian.AppendUint64(p, w.Incarnation)
+	p = binary.LittleEndian.AppendUint32(p, w.DedupWindow)
 	p = appendString(p, w.Server)
 	return AppendFrame(dst, OpWelcome, 0, p)
 }
 
 // DecodeWelcome decodes an OpWelcome payload.
 func DecodeWelcome(p []byte) (Welcome, error) {
-	if len(p) < 8 {
+	if len(p) < 28 {
 		return Welcome{}, fmt.Errorf("wire: welcome: %w: limits", ErrTruncated)
 	}
 	var w Welcome
 	w.MaxFrame = binary.LittleEndian.Uint32(p[0:4])
 	w.MaxInFlight = binary.LittleEndian.Uint32(p[4:8])
-	server, rest, err := decodeString(p[8:])
+	w.Session = binary.LittleEndian.Uint64(p[8:16])
+	w.Incarnation = binary.LittleEndian.Uint64(p[16:24])
+	w.DedupWindow = binary.LittleEndian.Uint32(p[24:28])
+	server, rest, err := decodeString(p[28:])
 	if err != nil {
 		return Welcome{}, fmt.Errorf("wire: welcome: %w", err)
 	}
@@ -88,11 +119,24 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 type Call struct {
 	Proc string
 	Args []storage.Value
+	// Seq is the per-session monotonic operation sequence number.
+	// Re-sending a call with the same (session, seq) is safe: the
+	// server's dedup window answers an already-completed sequence
+	// with its original result instead of executing it again. Zero
+	// opts out of dedup.
+	Seq uint64
+	// BudgetUS is the caller's remaining context deadline in
+	// microseconds at send time (0 = no deadline). The server rejects
+	// the call with CodeDeadline — at admission or just before
+	// execution — once the budget has elapsed on its own clock.
+	BudgetUS uint64
 }
 
 // AppendCall appends an encoded OpCall frame.
 func AppendCall(dst []byte, id uint64, c Call) []byte {
-	p := appendString(nil, c.Proc)
+	p := binary.AppendUvarint(nil, c.Seq)
+	p = binary.AppendUvarint(p, c.BudgetUS)
+	p = appendString(p, c.Proc)
 	p = binary.AppendUvarint(p, uint64(len(c.Args)))
 	for _, v := range c.Args {
 		p = appendValue(p, v)
@@ -102,7 +146,18 @@ func AppendCall(dst []byte, id uint64, c Call) []byte {
 
 // DecodeCall decodes an OpCall payload.
 func DecodeCall(p []byte) (Call, error) {
-	name, rest, err := decodeString(p)
+	seq, rest, err := decodeUvarint(p)
+	if err != nil {
+		return Call{}, fmt.Errorf("wire: call: op sequence: %w", err)
+	}
+	budgetUS, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return Call{}, fmt.Errorf("wire: call: deadline budget: %w", err)
+	}
+	if budgetUS > uint64(math.MaxInt64/int64(time.Microsecond)) {
+		return Call{}, fmt.Errorf("wire: call: implausible deadline budget %dµs", budgetUS)
+	}
+	name, rest, err := decodeString(rest)
 	if err != nil {
 		return Call{}, fmt.Errorf("wire: call: procedure name: %w", err)
 	}
@@ -113,7 +168,7 @@ func DecodeCall(p []byte) (Call, error) {
 	if argc > maxArgs {
 		return Call{}, fmt.Errorf("wire: call: implausible argument count %d", argc)
 	}
-	c := Call{Proc: name}
+	c := Call{Proc: name, Seq: seq, BudgetUS: budgetUS}
 	if argc > 0 {
 		c.Args = make([]storage.Value, 0, argc)
 	}
@@ -142,24 +197,31 @@ type Output struct {
 	Vals []storage.Value
 }
 
+// AppendResultPayload appends the payload encoding of the named
+// outputs (no frame header). The server's dedup window caches these
+// payloads and re-frames them per retry with the retry's request id.
+func AppendResultPayload(dst []byte, outs []Output) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(outs)))
+	for _, o := range outs {
+		dst = appendString(dst, o.Name)
+		if o.List {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(len(o.Vals)))
+			for _, v := range o.Vals {
+				dst = appendValue(dst, v)
+			}
+		} else {
+			dst = append(dst, 0)
+			dst = appendValue(dst, o.Vals[0])
+		}
+	}
+	return dst
+}
+
 // AppendResult appends an encoded OpResult frame carrying the named
 // outputs in the given order.
 func AppendResult(dst []byte, id uint64, outs []Output) []byte {
-	p := binary.AppendUvarint(nil, uint64(len(outs)))
-	for _, o := range outs {
-		p = appendString(p, o.Name)
-		if o.List {
-			p = append(p, 1)
-			p = binary.AppendUvarint(p, uint64(len(o.Vals)))
-			for _, v := range o.Vals {
-				p = appendValue(p, v)
-			}
-		} else {
-			p = append(p, 0)
-			p = appendValue(p, o.Vals[0])
-		}
-	}
-	return AppendFrame(dst, OpResult, id, p)
+	return AppendFrame(dst, OpResult, id, AppendResultPayload(nil, outs))
 }
 
 // DecodeResult decodes an OpResult payload.
@@ -225,22 +287,27 @@ func DecodeResult(p []byte) ([]Output, error) {
 
 // --- Errors ------------------------------------------------------------
 
-// AppendError appends an encoded OpError frame for e.
-func AppendError(dst []byte, id uint64, e RemoteError) []byte {
-	p := make([]byte, 0, 12+len(e.Msg))
-	p = append(p, e.Code)
+// AppendErrorPayload appends the payload encoding of e (no frame
+// header) — the cacheable form, like AppendResultPayload.
+func AppendErrorPayload(dst []byte, e RemoteError) []byte {
+	dst = append(dst, e.Code)
 	flags := byte(0)
 	if Retryable(e.Code) {
 		flags |= 1
 	}
-	p = append(p, flags)
+	dst = append(dst, flags)
 	backoffUS := uint64(0)
 	if e.Backoff > 0 {
 		backoffUS = uint64(e.Backoff / time.Microsecond)
 	}
-	p = binary.AppendUvarint(p, backoffUS)
-	p = appendString(p, e.Msg)
-	return AppendFrame(dst, OpError, id, p)
+	dst = binary.AppendUvarint(dst, backoffUS)
+	dst = appendString(dst, e.Msg)
+	return dst
+}
+
+// AppendError appends an encoded OpError frame for e.
+func AppendError(dst []byte, id uint64, e RemoteError) []byte {
+	return AppendFrame(dst, OpError, id, AppendErrorPayload(nil, e))
 }
 
 // DecodeError decodes an OpError payload.

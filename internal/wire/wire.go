@@ -29,12 +29,24 @@
 // A length field above the reader's configured maximum is treated as a
 // protocol error, never as an allocation request.
 //
-// # Handshake
+// # Handshake and sessions
 //
 // The first frame on a connection must be OpHello from the client; the
 // server answers OpWelcome (carrying its frame-size and pipelining
 // limits) or OpError with CodeVersion and closes. Both directions pin
 // the version byte for the rest of the connection.
+//
+// Version 2 adds exactly-once retry plumbing. Hello carries a client
+// session token (0 asks the server to mint one); Welcome returns the
+// bound token plus the server's boot incarnation and per-session
+// dedup-window size. Each Call then carries a per-session monotonic
+// operation sequence number: re-sending a call with the same
+// (session, seq) after a connection death is safe, because the server
+// answers an already-completed sequence from its dedup window instead
+// of executing it again. Seq 0 opts out (no dedup). A Call also
+// carries the client's remaining context deadline as a microsecond
+// budget (0 = none), which the server enforces at admission and again
+// before execution so work whose caller has given up is never run.
 //
 // # Errors and load shedding
 //
@@ -57,7 +69,10 @@ const Magic uint16 = 0x7DB1
 
 // Version is the protocol version this package speaks. The handshake
 // pins it: both sides reject frames carrying any other version.
-const Version uint8 = 1
+// Version 2 added session tokens, per-session op sequences and
+// deadline budgets (exactly-once retries); the frame header is
+// unchanged.
+const Version uint8 = 2
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 16
@@ -134,6 +149,11 @@ const (
 	// CodeVersion reports a protocol-version mismatch in the
 	// handshake.
 	CodeVersion uint8 = 8
+	// CodeDeadline reports that a call's deadline budget was
+	// exhausted before the server executed it. The transaction never
+	// ran, but the caller's context is dead anyway, so the code is
+	// not retryable: the client surfaces it like a local deadline.
+	CodeDeadline uint8 = 9
 )
 
 // CodeName names an error code.
@@ -155,6 +175,8 @@ func CodeName(c uint8) string {
 		return "draining"
 	case CodeVersion:
 		return "version-mismatch"
+	case CodeDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("code(%d)", c)
 	}

@@ -104,17 +104,20 @@ func TestReaderEnforcesLimit(t *testing.T) {
 }
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	hb := AppendHello(nil, Hello{Client: "thedb-client/1"})
+	hb := AppendHello(nil, Hello{Client: "thedb-client/1", Session: 0x0102030405060708})
 	f, _, err := DecodeFrame(hb, 0)
 	if err != nil || f.Op != OpHello || f.ID != 0 {
 		t.Fatalf("hello frame = %+v, err = %v", f, err)
 	}
 	h, err := DecodeHello(f.Payload)
-	if err != nil || h.Client != "thedb-client/1" {
+	if err != nil || h.Client != "thedb-client/1" || h.Session != 0x0102030405060708 {
 		t.Fatalf("hello = %+v, err = %v", h, err)
 	}
 
-	wb := AppendWelcome(nil, Welcome{MaxFrame: 1 << 20, MaxInFlight: 64, Server: "thedb/1"})
+	wb := AppendWelcome(nil, Welcome{
+		MaxFrame: 1 << 20, MaxInFlight: 64, Server: "thedb/1",
+		Session: 0x0102030405060708, Incarnation: 0xfeedface12345678, DedupWindow: 256,
+	})
 	f, _, err = DecodeFrame(wb, 0)
 	if err != nil || f.Op != OpWelcome {
 		t.Fatalf("welcome frame = %+v, err = %v", f, err)
@@ -126,6 +129,9 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if w.MaxFrame != 1<<20 || w.MaxInFlight != 64 || w.Server != "thedb/1" {
 		t.Fatalf("welcome = %+v", w)
 	}
+	if w.Session != 0x0102030405060708 || w.Incarnation != 0xfeedface12345678 || w.DedupWindow != 256 {
+		t.Fatalf("welcome session fields = %+v", w)
+	}
 }
 
 func TestCallRoundTrip(t *testing.T) {
@@ -136,6 +142,8 @@ func TestCallRoundTrip(t *testing.T) {
 			storage.Float(math.Inf(-1)), storage.Int(math.MaxInt64), storage.Str(""),
 		}},
 		{Proc: "NoArgs"},
+		{Proc: "KVInc", Seq: 42, BudgetUS: 1_500_000, Args: []storage.Value{storage.Int(9)}},
+		{Proc: "MaxSeq", Seq: math.MaxUint64},
 	}
 	for _, c := range calls {
 		b := AppendCall(nil, 9, c)
@@ -147,7 +155,7 @@ func TestCallRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%q: %v", c.Proc, err)
 		}
-		if got.Proc != c.Proc || len(got.Args) != len(c.Args) {
+		if got.Proc != c.Proc || got.Seq != c.Seq || got.BudgetUS != c.BudgetUS || len(got.Args) != len(c.Args) {
 			t.Fatalf("%q: decoded %+v", c.Proc, got)
 		}
 		for i := range c.Args {
@@ -185,6 +193,7 @@ func TestErrorRoundTrip(t *testing.T) {
 		{Code: CodeShed, Backoff: 500 * time.Microsecond, Msg: "in-flight bound hit"},
 		{Code: CodeAbort, Msg: "insufficient funds"},
 		{Code: CodeDraining, Backoff: 10 * time.Millisecond, Msg: "server draining"},
+		{Code: CodeDeadline, Msg: "budget exhausted before execution"},
 	}
 	for _, e := range es {
 		b := AppendError(nil, 13, e)

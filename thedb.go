@@ -41,6 +41,7 @@ import (
 	"thedb/internal/det"
 	"thedb/internal/metrics"
 	"thedb/internal/obs"
+	"thedb/internal/oracle"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wal"
@@ -258,6 +259,13 @@ type Config struct {
 	// check. Rounded up to a power of two. Not supported by the
 	// Deterministic engine.
 	EventBuffer int
+
+	// Oracle, when non-nil, records every committed transaction's
+	// read/write footprint with its commit timestamp for an offline
+	// serializability check (oracle.Recorder.Check) after the run.
+	// Meant for torture tests; it keeps all commits in memory. Not
+	// supported by the Deterministic engine.
+	Oracle *oracle.Recorder
 }
 
 // DB is a database instance: a catalog of tables plus one engine.
@@ -378,6 +386,7 @@ func (db *DB) ensureEngines() {
 		SyncBackoff:     db.cfg.SyncBackoff,
 		Logger:          db.logger,
 		Recorder:        db.rec,
+		Oracle:          db.cfg.Oracle,
 	})
 }
 
