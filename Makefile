@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke net-chaos recovery-torture restart-smoke bench-restart bench-ycsb
+.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke net-chaos recovery-torture restart-smoke bench-restart bench-ycsb trace-smoke
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,53 @@ net-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "net-smoke: server did not drain cleanly"; exit 1; }; \
 	echo "net-smoke: pipelined bench over loopback ok, counters exported, clean drain"
+
+# trace-smoke is the end-to-end tracing check (DESIGN.md §15): pin the
+# zero-allocation trace-record path, then boot a YCSB server with
+# tracing, the contention profiler and histogram exemplars on, drive a
+# pipelined bench over loopback with -net.obs so it pulls /debug/trace
+# and prints the per-phase latency breakdown, and require retained
+# traces on /debug/trace, a serving /debug/contention, and an exemplar
+# trace ID on the latency histogram. The 1µs slow threshold makes
+# retention deterministic: every committed transaction counts as slow.
+TRACE_ADDR ?= 127.0.0.1:17727
+TRACE_OBS_ADDR ?= 127.0.0.1:19097
+trace-smoke:
+	$(GO) test -run 'TestTraceRecordZeroAllocs' ./internal/core/
+	$(GO) build -o /tmp/thedb-server ./cmd/thedb-server
+	$(GO) build -o /tmp/thedb-bench ./cmd/thedb-bench
+	/tmp/thedb-server -addr $(TRACE_ADDR) -workers 4 -workload ycsb \
+		-ycsb.records 20000 -obs.addr $(TRACE_OBS_ADDR) \
+		-trace.buffer 512 -trace.slow 1us -trace.exemplars -contention.k 16 & \
+	pid=$$!; \
+	ok=; \
+	for i in $$(seq 1 40); do \
+		if /tmp/thedb-bench -addr $(TRACE_ADDR) -duration 100ms \
+			-net.clients 1 -net.conns 1 -net.records 20000 >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.25; \
+	done; \
+	test -n "$$ok" || { echo "trace-smoke: server never accepted calls"; kill $$pid 2>/dev/null; exit 1; }; \
+	/tmp/thedb-bench -addr $(TRACE_ADDR) -duration 2s -net.mix a -net.records 20000 \
+		-net.obs $(TRACE_OBS_ADDR) > /tmp/thedb-trace-bench.txt 2>&1 \
+		|| { echo "trace-smoke: bench failed"; cat /tmp/thedb-trace-bench.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	cat /tmp/thedb-trace-bench.txt; \
+	grep -q 'server traces:' /tmp/thedb-trace-bench.txt \
+		|| { echo "trace-smoke: bench printed no phase breakdown"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://$(TRACE_OBS_ADDR)/debug/trace > /tmp/thedb-trace.json \
+		|| { echo "trace-smoke: /debug/trace never answered"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '"id"' /tmp/thedb-trace.json \
+		|| { echo "trace-smoke: no traces retained"; cat /tmp/thedb-trace.json; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://$(TRACE_OBS_ADDR)/debug/contention > /tmp/thedb-contention.json \
+		|| { echo "trace-smoke: /debug/contention never answered"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '"total"' /tmp/thedb-contention.json \
+		|| { echo "trace-smoke: contention endpoint malformed"; cat /tmp/thedb-contention.json; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://$(TRACE_OBS_ADDR)/metrics > /tmp/thedb-trace-metrics.txt \
+		|| { echo "trace-smoke: /metrics never answered"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q 'trace_id=' /tmp/thedb-trace-metrics.txt \
+		|| { echo "trace-smoke: no exemplar trace ID on the latency histogram"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "trace-smoke: server did not drain cleanly"; exit 1; }; \
+	echo "trace-smoke: traces retained, breakdown printed, contention + exemplars exported, clean drain"
 
 # net-chaos is the serving-plane torture (DESIGN.md §14): a client
 # fleet drives disjoint workloads through the fault-injecting proxy

@@ -511,6 +511,12 @@ type clientConn struct {
 	err     error // set once the connection is unusable
 
 	nextID atomic.Uint64
+
+	// traceBase salts the per-call trace IDs minted by issue: each
+	// attempt carries splitmix64(traceBase + request id), unique across
+	// connections and retries so server-side traces, recorder events
+	// and exemplars correlate end to end.
+	traceBase uint64
 }
 
 type outcome struct {
@@ -524,10 +530,11 @@ func (c *Client) dialConn() (*clientConn, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
 	cc := &clientConn{
-		nc:      nc,
-		bw:      bufio.NewWriterSize(nc, 64<<10),
-		pending: make(map[uint64]chan outcome),
-		done:    make(chan struct{}),
+		nc:        nc,
+		bw:        bufio.NewWriterSize(nc, 64<<10),
+		pending:   make(map[uint64]chan outcome),
+		done:      make(chan struct{}),
+		traceBase: rand.Uint64(),
 	}
 	if err := cc.handshake(c.opts, c.session.Load()); err != nil {
 		cerr := nc.Close()
@@ -646,7 +653,10 @@ func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, ar
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	buf := wire.AppendCall(nil, id, wire.Call{Proc: procName, Args: args, Seq: seq, BudgetUS: budgetUS})
+	buf := wire.AppendCall(nil, id, wire.Call{
+		Proc: procName, Args: args, Seq: seq, BudgetUS: budgetUS,
+		TraceID: mintTraceID(cc.traceBase + id),
+	})
 	cc.wmu.Lock()
 	_, werr := cc.bw.Write(buf)
 	if werr == nil && flush {
@@ -661,6 +671,18 @@ func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, ar
 		return nil, 0, true, werr
 	}
 	return ch, id, true, nil
+}
+
+// mintTraceID finalizes a trace ID from the connection salt plus the
+// request id (splitmix64; | 1 keeps it nonzero, since zero means
+// untraced on the wire).
+func mintTraceID(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x | 1
 }
 
 // flushCalls pushes buffered batch frames to the wire.

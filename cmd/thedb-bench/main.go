@@ -45,6 +45,7 @@ func main() {
 	netMix := flag.String("net.mix", "b", "YCSB mix for -addr mode: a, b, c or f")
 	netRecords := flag.Int("net.records", 100000, "remote YCSB table size (must match the server's -ycsb.records)")
 	netTheta := flag.Float64("net.theta", 0.8, "zipfian skew for -addr mode")
+	netObs := flag.String("net.obs", "", "the remote server's obs plane (host:port); after the run, pull /debug/trace and print the per-phase latency breakdown")
 	chaosNet := flag.Bool("chaos.net", false, "interpose a fault-injecting proxy between the clients and -addr (resets, delays, blackholes, duplicates)")
 	chaosSeed := flag.Uint64("chaos.seed", 1, "seed for the -chaos.net fault streams (a failing seed replays)")
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 			duration:  *duration,
 			chaos:     *chaosNet,
 			chaosSeed: *chaosSeed,
+			obsAddr:   *netObs,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "net bench: %v\n", err)

@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"thedb/client"
 	"thedb/internal/netfault"
+	"thedb/internal/obs"
 	"thedb/internal/wire"
 	"thedb/internal/workload/ycsb"
 )
@@ -29,6 +32,7 @@ type netOpts struct {
 	duration  time.Duration
 	chaos     bool
 	chaosSeed uint64
+	obsAddr   string
 }
 
 // netBench drives a YCSB mix against a remote thedb-server over the
@@ -149,12 +153,85 @@ func netBench(o netOpts) error {
 		pct := func(p float64) time.Duration {
 			return latencies[int(p*float64(len(latencies)-1))]
 		}
-		fmt.Printf("  batch latency p50=%v p95=%v p99=%v (batch=%d calls)\n",
+		fmt.Printf("  batch latency p50=%v p95=%v p99=%v p99.9=%v (batch=%d calls)\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), o.pipeline)
+			pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond), o.pipeline)
+	}
+	if o.obsAddr != "" {
+		if err := printPhaseBreakdown(o.obsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: phase breakdown: %v\n", err)
+		}
 	}
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d calls failed", failed.Load())
 	}
+	return nil
+}
+
+// printPhaseBreakdown pulls the server's retained transaction traces
+// (/debug/trace on its -obs.addr plane) and renders the per-phase
+// latency split: where the slow tail actually spent its time, healing
+// pass counts included. The traces are tail-sampled — slow, aborted,
+// contended and healed transactions — so the table describes the
+// interesting tail, not the average call.
+func printPhaseBreakdown(obsAddr string) error {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get("http://" + obsAddr + "/debug/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/trace: %s (is the server running with -trace.buffer > 0?)", resp.Status)
+	}
+	var tr struct {
+		SlowThresholdUS int64       `json:"slow_threshold_us"`
+		Total           uint64      `json:"total"`
+		Kept            uint64      `json:"kept"`
+		Traces          []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decode /debug/trace: %w", err)
+	}
+	fmt.Printf("  server traces: %d retained of %d transactions (slow threshold %dµs)\n",
+		len(tr.Traces), tr.Total, tr.SlowThresholdUS)
+	if len(tr.Traces) == 0 {
+		return nil
+	}
+	type phase struct {
+		name string
+		get  func(*obs.Trace) int64
+	}
+	phases := []phase{
+		{"queue", func(t *obs.Trace) int64 { return t.QueueUS }},
+		{"execute", func(t *obs.Trace) int64 { return t.ExecUS }},
+		{"validate", func(t *obs.Trace) int64 { return t.ValidateUS }},
+		{"heal", func(t *obs.Trace) int64 { return t.HealUS }},
+		{"commit", func(t *obs.Trace) int64 { return t.CommitUS }},
+		{"wal", func(t *obs.Trace) int64 { return t.WALUS }},
+		{"response", func(t *obs.Trace) int64 { return t.RespUS }},
+		{"total", func(t *obs.Trace) int64 { return t.TotalUS }},
+	}
+	var healed, passes int
+	for i := range tr.Traces {
+		if tr.Traces[i].NPasses > 0 {
+			healed++
+			passes += int(tr.Traces[i].NPasses)
+		}
+	}
+	fmt.Printf("  %-9s %10s %10s %10s\n", "phase", "mean", "p50", "max")
+	for _, p := range phases {
+		vals := make([]int64, len(tr.Traces))
+		var sum int64
+		for i := range tr.Traces {
+			vals[i] = p.get(&tr.Traces[i])
+			sum += vals[i]
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+		fmt.Printf("  %-9s %10v %10v %10v\n", p.name,
+			us(sum/int64(len(vals))), us(vals[len(vals)/2]), us(vals[len(vals)-1]))
+	}
+	fmt.Printf("  healed: %d traces, %d passes\n", healed, passes)
 	return nil
 }

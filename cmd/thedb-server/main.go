@@ -22,6 +22,17 @@
 //	-obs.addr A         serve /metrics (incl. thedb_checkpoint_* and
 //	                    thedb_server_*), /debug/events, /debug/recovery
 //	                    and /debug/pprof on A
+//	-trace.buffer N     retain the last N interesting transaction traces
+//	                    (slow, aborted, healed, contended) at /debug/trace
+//	                    (default 0 = tracing off)
+//	-trace.slow D       latency above which a committed transaction counts
+//	                    as slow for trace retention and exemplars
+//	                    (default 1ms)
+//	-trace.exemplars    attach the latest slow trace ID to the latency
+//	                    histogram (OpenMetrics exemplar syntax)
+//	-contention.k N     track the K hottest contended keys at
+//	                    /debug/contention and thedb_contention_topk
+//	                    (default 0 = profiler off)
 //	-ycsb.records N     YCSB table size (default 100000)
 //	-sb.accounts N      Smallbank account count (default 10000)
 //
@@ -74,12 +85,20 @@ func main() {
 	logMode := flag.String("log.mode", "value", "WAL mode: value | command")
 	ckEvery := flag.Duration("checkpoint.every", 30*time.Second, "online checkpoint cadence (0 disables; value mode only)")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this host:port")
+	traceBuffer := flag.Int("trace.buffer", 0, "retain the last N interesting transaction traces at /debug/trace (0 disables tracing)")
+	traceSlow := flag.Duration("trace.slow", time.Millisecond, "latency above which a committed transaction counts as slow for trace retention")
+	traceExemplars := flag.Bool("trace.exemplars", false, "attach the latest slow trace ID to the latency histogram (OpenMetrics exemplars)")
+	contentionK := flag.Int("contention.k", 0, "track the K hottest contended keys at /debug/contention (0 disables)")
 	ycsbRecords := flag.Int("ycsb.records", 100000, "YCSB table size")
 	sbAccounts := flag.Int("sb.accounts", 10000, "Smallbank account count")
 	dedupWindow := flag.Int("dedup.window", 0, "per-session cache of completed responses for exactly-once retries (0 = default 256, negative disables)")
 	flag.Parse()
 
-	cfg := thedb.Config{Protocol: thedb.Healing, Workers: *workers, EventBuffer: 256}
+	cfg := thedb.Config{
+		Protocol: thedb.Healing, Workers: *workers, EventBuffer: 256,
+		TraceBuffer: *traceBuffer, TraceSlow: *traceSlow, TraceExemplars: *traceExemplars,
+		ContentionK: *contentionK,
+	}
 	switch *logMode {
 	case "value":
 		cfg.LogMode = thedb.ValueLogging

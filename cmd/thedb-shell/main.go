@@ -14,6 +14,9 @@
 //	stats                           (committed / restarts / heals)
 //	\metrics                        (live snapshot, Prometheus text format)
 //	\events                         (flight-recorder protocol event dump)
+//	\trace                          (retained transaction traces with
+//	                                 per-phase timings and heal passes)
+//	\contention                     (hot-key top-K contention sketch)
 //	\connect <host:port>            (remote mode: statements become
 //	                                 stored-procedure calls on a
 //	                                 thedb-server; \disconnect returns)
@@ -54,8 +57,12 @@ func main() {
 	flag.Parse()
 
 	// EventBuffer keeps the last protocol events per worker for
-	// \events — negligible cost at shell scale.
-	db, err := thedb.Open(thedb.Config{Protocol: thedb.Healing, Workers: 1, EventBuffer: 256})
+	// \events; TraceBuffer/ContentionK feed \trace and \contention —
+	// all negligible cost at shell scale.
+	db, err := thedb.Open(thedb.Config{
+		Protocol: thedb.Healing, Workers: 1, EventBuffer: 256,
+		TraceBuffer: 64, TraceSlow: time.Millisecond, ContentionK: 16,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +123,10 @@ func main() {
 			obs.WriteProm(os.Stdout, db.LiveMetrics())
 		case line == `\events`:
 			db.DumpEvents(os.Stdout)
+		case line == `\trace`:
+			dumpTraces(db.Tracer())
+		case line == `\contention`:
+			dumpContention(db.Contention())
 		default:
 			stmts := []string{line}
 			if strings.HasPrefix(line, "txn ") {
@@ -351,8 +362,48 @@ func usage() {
   tables | stats | help | quit
   \metrics   live snapshot in Prometheus text format
   \events    flight-recorder protocol event dump
+  \trace     retained transaction traces (per-phase timings, heal passes)
+  \contention  hot-key top-K contention sketch
   \connect <host:port>   switch to a remote thedb-server (stored-procedure calls)
 `)
+}
+
+// dumpTraces prints the tracer's retained traces, newest first: one
+// line per transaction with its per-phase microsecond breakdown, plus
+// one indented line per heal pass.
+func dumpTraces(tr *obs.Tracer) {
+	if tr == nil {
+		fmt.Println("tracing not enabled")
+		return
+	}
+	total, kept := tr.Stats()
+	fmt.Printf("traces: %d retained of %d transactions (slow/aborted/healed/contended kept)\n", kept, total)
+	us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+	for _, t := range tr.Snapshot() {
+		fmt.Printf("%016x %-10s w%-2d %-9s proto=%d total=%v queue=%v exec=%v validate=%v heal=%v commit=%v wal=%v resp=%v attempts=%d escalations=%d epoch=%d\n",
+			t.ID, t.Proc, t.Worker, t.Outcome, t.Proto,
+			us(t.TotalUS), us(t.QueueUS), us(t.ExecUS), us(t.ValidateUS),
+			us(t.HealUS), us(t.CommitUS), us(t.WALUS), us(t.RespUS),
+			t.Attempts, t.Escalations, t.Epoch)
+		for i := uint32(0); i < t.NPasses && i < obs.MaxHealPasses; i++ {
+			p := t.Passes[i]
+			fmt.Printf("  heal pass %d: [%v..%v] ops-restored=%d frontier=%d\n",
+				i+1, us(p.StartUS), us(p.EndUS), p.Restored, p.Frontier)
+		}
+	}
+}
+
+// dumpContention prints the hot-key sketch, hottest first.
+func dumpContention(c *obs.Contention) {
+	if c == nil {
+		fmt.Println("contention profiling not enabled")
+		return
+	}
+	fmt.Printf("contention: top-%d of %d touches (count overestimates by at most err)\n", c.K(), c.Total())
+	for i, e := range c.Snapshot() {
+		fmt.Printf("%2d. table=%d key=%d count=%d err=%d fails=%d heals=%d\n",
+			i+1, e.Table, e.Key, e.Count, e.Err, e.Fails, e.Heals)
+	}
 }
 
 func fatal(err error) {

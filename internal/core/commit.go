@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"thedb/internal/fault"
 	"thedb/internal/oracle"
 	"thedb/internal/wal"
@@ -35,10 +37,24 @@ func (t *Txn) commit(procName string) error {
 	w.lastTS = ts
 
 	logging := w.wlog != nil
+	// WAL-append time is the only trace phase measured below commit
+	// granularity: commits never wait for fsync (group commit syncs a
+	// sealed epoch two behind), so the appends are all the log costs a
+	// transaction pays inline. Clock reads bracket each wlog call only
+	// while the transaction is traced.
+	timeWAL := logging && t.w.traceOn
+	var walDur time.Duration
+	var walT time.Time
+	if timeWAL {
+		walT = time.Now()
+	}
 	if logging {
 		if err := w.wlog.BeginCommit(ts); err != nil {
 			return err
 		}
+	}
+	if timeWAL {
+		walDur += time.Since(walT)
 	}
 	valueLog := logging && t.e.opts.Logger.Mode() == wal.ValueLogging
 
@@ -53,8 +69,14 @@ func (t *Txn) commit(procName string) error {
 			rec.SetTimestamp(ts)
 			t.e.gc.Retire(rec)
 			if valueLog {
+				if timeWAL {
+					walT = time.Now()
+				}
 				if err := w.wlog.LogDelete(ts, el.tab.ID(), rec.Key()); err != nil {
 					return err
+				}
+				if timeWAL {
+					walDur += time.Since(walT)
 				}
 			}
 		case el.isInsert:
@@ -64,8 +86,14 @@ func (t *Txn) commit(procName string) error {
 			rec.SetVisible(true)
 			el.tab.IndexSecondaries(rec, tuple)
 			if valueLog {
+				if timeWAL {
+					walT = time.Now()
+				}
 				if err := w.wlog.LogInsert(ts, el.tab.ID(), rec.Key(), tuple); err != nil {
 					return err
+				}
+				if timeWAL {
+					walDur += time.Since(walT)
 				}
 			}
 		default:
@@ -76,13 +104,22 @@ func (t *Txn) commit(procName string) error {
 			el.tab.ReindexSecondaries(rec, old, tuple)
 			if valueLog {
 				cols, vals := el.writeColumns()
+				if timeWAL {
+					walT = time.Now()
+				}
 				if err := w.wlog.LogWrite(ts, el.tab.ID(), rec.Key(), cols, vals); err != nil {
 					return err
+				}
+				if timeWAL {
+					walDur += time.Since(walT)
 				}
 			}
 		}
 	}
 	if logging {
+		if timeWAL {
+			walT = time.Now()
+		}
 		if !valueLog {
 			if err := w.wlog.LogCommand(ts, procName, w.curArgs); err != nil {
 				return err
@@ -90,6 +127,10 @@ func (t *Txn) commit(procName string) error {
 		}
 		if err := w.wlog.EndCommit(ts); err != nil {
 			return err
+		}
+		if timeWAL {
+			walDur += time.Since(walT)
+			w.trace.WALUS += int64(walDur / time.Microsecond)
 		}
 	}
 	if orc := t.e.opts.Oracle; orc != nil {

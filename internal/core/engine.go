@@ -168,6 +168,22 @@ type Options struct {
 	// single pointer check, mirroring Chaos.
 	Recorder *obs.Recorder
 
+	// Tracer, when non-nil, enables per-transaction tracing: each
+	// transaction accumulates monotonic phase timings (queue wait,
+	// execute, validate, per-heal-pass detail, commit, WAL append)
+	// into worker-owned scratch and the completed trace is offered to
+	// the tracer's tail-retention ring. Nil (the default) keeps the
+	// per-transaction cost at a single pointer check, mirroring
+	// Recorder (DESIGN.md §15).
+	Tracer *obs.Tracer
+
+	// Contention, when non-nil, is the hot-key profiler: validation
+	// failures and heal starts feed (table, key) into its space-saving
+	// top-K sketch. Nil (the default) keeps the sites at one pointer
+	// check; the sites sit on failure paths, never on the clean commit
+	// path.
+	Contention *obs.Contention
+
 	// RetryBudget bounds failed attempts per rung of the degradation
 	// ladder (DESIGN.md §10): a transaction escalates
 	// Healing → OCC → 2PL as each rung's budget is spent and fails
@@ -226,6 +242,12 @@ type Engine struct {
 	// rec is the flight recorder (nil when event tracing is off).
 	rec *obs.Recorder
 
+	// tracer is the transaction trace ring (nil when tracing is off);
+	// cont is the hot-key contention sketch (nil when profiling is
+	// off).
+	tracer *obs.Tracer
+	cont   *obs.Contention
+
 	// startNS is the Start() instant (UnixNano; 0 before Start), the
 	// wall-clock origin live snapshots measure throughput against.
 	startNS atomic.Int64
@@ -256,6 +278,8 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 		specs:   make(map[string]*proc.Spec),
 		stopC:   make(chan struct{}),
 		rec:     opts.Recorder,
+		tracer:  opts.Tracer,
+		cont:    opts.Contention,
 	}
 	e.epoch = NewEpochManager(opts.EpochInterval)
 	e.epoch.chaos = opts.Chaos
@@ -474,6 +498,14 @@ func (e *Engine) fillEngineMetrics(a *metrics.Aggregate) {
 // Recorder returns the flight recorder (nil when event tracing is
 // off).
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
+// Tracer returns the transaction trace ring (nil when tracing is
+// off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Contention returns the hot-key contention sketch (nil when
+// profiling is off).
+func (e *Engine) Contention() *obs.Contention { return e.cont }
 
 // ResetMetrics clears all workers' collectors (between benchmark
 // phases).

@@ -69,6 +69,9 @@ func (t *Txn) validateHealing() error {
 			continue
 		}
 		t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
+		if c := t.e.cont; c != nil {
+			c.Touch(el.tab.ID(), uint64(el.rec.Key()), obs.TouchValidationFail)
+		}
 		if !t.canHeal() {
 			return errRestart
 		}
@@ -150,11 +153,19 @@ func (h *healQueue) push(r *OpRun, k restoreKind) {
 // reachable from the inconsistent element el through the program
 // dependency graph. The caller holds el's record lock.
 func (t *Txn) heal(el *Element) error {
-	if t.e.opts.DetailedMetrics {
+	traced := t.w.traceOn
+	if t.e.opts.DetailedMetrics || traced {
 		defer t.timeHeal()()
+	}
+	var passStart time.Duration
+	if traced {
+		passStart = time.Since(t.w.traceStart)
 	}
 	t.w.m.Inc(&t.w.m.Heals)
 	t.w.event(obs.KHealStart, uint64(el.rec.Key()), uint64(el.tab.ID()))
+	if c := t.e.cont; c != nil {
+		c.Touch(el.tab.ID(), uint64(el.rec.Key()), obs.TouchHealStart)
+	}
 	// Reload the inconsistent element under its lock: this is the
 	// restoration basis for the bookmarked operation(s).
 	el.rts, _, el.seenVisible = el.rec.Meta()
@@ -169,14 +180,22 @@ func (t *Txn) heal(el *Element) error {
 		return err
 	}
 	t.w.event(obs.KHealEnd, uint64(t.healOps-before), uint64(t.frontier))
+	if traced {
+		t.w.tracePass(passStart, time.Since(t.w.traceStart), t.healOps-before, t.frontier)
+	}
 	return nil
 }
 
 // healFromOp heals starting from a single operation that must be
 // re-executed (phantom repair of a scan).
 func (t *Txn) healFromOp(run *OpRun) error {
-	if t.e.opts.DetailedMetrics {
+	traced := t.w.traceOn
+	if t.e.opts.DetailedMetrics || traced {
 		defer t.timeHeal()()
+	}
+	var passStart time.Duration
+	if traced {
+		passStart = time.Since(t.w.traceStart)
 	}
 	t.w.m.Inc(&t.w.m.Heals)
 	t.w.event(obs.KHealStart, 0, 0) // 0,0 marks a phantom repair
@@ -187,6 +206,9 @@ func (t *Txn) healFromOp(run *OpRun) error {
 		return err
 	}
 	t.w.event(obs.KHealEnd, uint64(t.healOps-before), uint64(t.frontier))
+	if traced {
+		t.w.tracePass(passStart, time.Since(t.w.traceStart), t.healOps-before, t.frontier)
+	}
 	return nil
 }
 

@@ -32,6 +32,9 @@ func (t *Txn) validateOCC(novalidate bool) error {
 		}
 		if ts, _, _ := el.rec.Meta(); ts != el.rts {
 			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
+			if c := t.e.cont; c != nil {
+				c.Touch(el.tab.ID(), uint64(el.rec.Key()), obs.TouchValidationFail)
+			}
 			return errRestart
 		}
 	}
@@ -89,12 +92,11 @@ func (t *Txn) validateSilo(novalidate bool) error {
 			continue
 		}
 		ts, locked, _ := el.rec.Meta()
-		if ts != el.rts {
+		if ts != el.rts || (locked && !el.locked) {
 			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
-			return errRestart
-		}
-		if locked && !el.locked {
-			t.w.event(obs.KValidationFail, uint64(el.rec.Key()), uint64(el.tab.ID()))
+			if c := t.e.cont; c != nil {
+				c.Touch(el.tab.ID(), uint64(el.rec.Key()), obs.TouchValidationFail)
+			}
 			return errRestart
 		}
 	}

@@ -28,10 +28,34 @@ type Worker struct {
 	// curArgs holds the running procedure's argument vector for
 	// command logging.
 	curArgs []storage.Value
+
+	// trace is the per-transaction scratch trace record; traceOn marks
+	// it active for the transaction currently in runLoop. traceStart is
+	// the monotonic instant phase offsets are measured from. The
+	// scratch lives in the worker so the commit fast path records a
+	// trace without allocating.
+	trace      obs.Trace
+	traceOn    bool
+	traceStart time.Time
+
+	// pendingTrace* carry caller-supplied trace context (a wire trace
+	// ID, queue wait, admission wall clock) into the next runLoop;
+	// consumed once by beginTrace.
+	pendingTraceID uint64
+	pendingQueueUS int64
+	pendingStartNS int64
+
+	// lastTraceSlot/lastTraceID report where the previous transaction's
+	// trace landed in the tracer ring (slot -1 = dropped or tracing
+	// off), so the serving plane can amend response-write time after
+	// the fact.
+	lastTraceSlot int
+	lastTraceID   uint64
 }
 
 func newWorker(e *Engine, id int) *Worker {
-	w := &Worker{e: e, id: id, rngState: uint64(id)*2685821657736338717 + 88172645463325252}
+	w := &Worker{e: e, id: id, rngState: uint64(id)*2685821657736338717 + 88172645463325252,
+		lastTraceSlot: -1}
 	if e.opts.Logger != nil {
 		w.wlog = e.opts.Logger.Worker(id)
 	}
@@ -53,8 +77,89 @@ func (w *Worker) Metrics() *metrics.Worker { return &w.m }
 //thedb:noalloc
 func (w *Worker) event(k obs.Kind, a, b uint64) {
 	if r := w.e.rec; r != nil {
-		r.Record(w.id, k, w.e.epoch.Current(), a, b)
+		var tid uint64
+		if w.traceOn {
+			tid = w.trace.ID
+		}
+		r.RecordT(w.id, k, w.e.epoch.Current(), a, b, tid)
 	}
+}
+
+// SetTraceContext primes the next transaction with caller-supplied
+// trace context: the wire trace ID (0 = mint one locally), queue wait
+// in microseconds, and the wall-clock admission instant in
+// nanoseconds (0 = stamp at first execution). The context is consumed
+// by the next Run/RunAdhoc/Transact and has no effect when tracing is
+// off. Same single-goroutine contract as the run methods.
+func (w *Worker) SetTraceContext(id uint64, queueUS, startNS int64) {
+	w.pendingTraceID = id
+	w.pendingQueueUS = queueUS
+	w.pendingStartNS = startNS
+}
+
+// LastTrace reports where the previous transaction's trace landed:
+// the tracer ring slot (-1 when it was dropped by tail sampling or
+// tracing is off) and its trace ID, for post-response amendment via
+// Tracer.AmendResp.
+func (w *Worker) LastTrace() (slot int, id uint64) {
+	return w.lastTraceSlot, w.lastTraceID
+}
+
+// beginTrace arms the worker's scratch trace for one transaction,
+// consuming any pending caller context. Untraced callers get an ID
+// minted from the worker-local xorshift (nonzero, so recorder events
+// still correlate).
+func (w *Worker) beginTrace(start time.Time, procName string) {
+	id := w.pendingTraceID
+	queueUS := w.pendingQueueUS
+	startNS := w.pendingStartNS
+	w.pendingTraceID, w.pendingQueueUS, w.pendingStartNS = 0, 0, 0
+	if id == 0 {
+		w.rngState = w.rngState*6364136223846793005 + 1442695040888963407
+		id = w.rngState | 1
+	}
+	if startNS == 0 {
+		startNS = start.UnixNano()
+	}
+	w.trace = obs.Trace{
+		ID:      id,
+		Proc:    procName,
+		Worker:  int32(w.id),
+		StartNS: startNS,
+		QueueUS: queueUS,
+	}
+	w.traceStart = start
+	w.traceOn = true
+}
+
+// finishTrace completes the scratch trace and offers it to the
+// tracer's tail-retention ring. This sits on the commit fast path:
+// with tracing off it is never reached (one nil check in runLoop);
+// with tracing on it must not allocate.
+//
+//thedb:noalloc
+func (w *Worker) finishTrace(outcome obs.TraceOutcome, lat time.Duration, attempts int) {
+	w.trace.Outcome = outcome
+	w.trace.TotalUS = int64(lat / time.Microsecond)
+	w.trace.Attempts = uint32(attempts)
+	w.trace.Epoch = w.e.epoch.Current()
+	w.lastTraceSlot = w.e.tracer.Keep(&w.trace)
+	w.lastTraceID = w.trace.ID
+	w.traceOn = false
+}
+
+// tracePass records one completed healing pass in the scratch trace.
+// Passes beyond MaxHealPasses are counted but lose their detail row.
+func (w *Worker) tracePass(start, end time.Duration, restored, frontier int) {
+	if n := w.trace.NPasses; n < obs.MaxHealPasses {
+		w.trace.Passes[n] = obs.HealPass{
+			StartUS:  int64(start / time.Microsecond),
+			EndUS:    int64(end / time.Microsecond),
+			Restored: uint32(restored),
+			Frontier: uint32(frontier),
+		}
+	}
+	w.trace.NPasses++
 }
 
 // Run executes the named stored procedure to completion under the
@@ -110,6 +215,9 @@ func (w *Worker) run(procName string, args []storage.Value, adhoc bool) (*proc.E
 func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv func() *proc.Env) (*proc.Env, error) {
 	start := time.Now()
 	lad := newLadder(&w.e.opts, adhoc)
+	if w.e.tracer != nil {
+		w.beginTrace(start, procName)
+	}
 	defer w.e.epoch.Idle(w.id)
 	for {
 		w.e.epoch.Refresh(w.id)
@@ -121,6 +229,9 @@ func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv fun
 			w.m.Inc(&w.m.Committed)
 			w.m.ObserveLatency(lat)
 			w.event(obs.KCommit, w.lastTS, uint64(lat/time.Microsecond))
+			if w.traceOn {
+				w.finishTrace(obs.TraceCommitted, lat, lad.total+1)
+			}
 			return env, nil
 		}
 		if errors.Is(err, errRestart) {
@@ -130,10 +241,16 @@ func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv fun
 				w.m.Inc(&w.m.BudgetExhausted)
 				w.m.Inc(&w.m.Aborted)
 				w.event(obs.KAbort, uint64(obs.AbortContended), uint64(lad.total))
+				if w.traceOn {
+					w.finishTrace(obs.TraceContended, time.Since(start), lad.total)
+				}
 				return env, fmt.Errorf("%w: %q gave up after %d attempts", ErrContended, procName, lad.total)
 			}
 			if lad.idx != prevRung {
 				w.event(obs.KLadderEscalate, uint64(lad.rungs[prevRung].proto), uint64(lad.proto()))
+				if w.traceOn {
+					w.trace.Escalations++
+				}
 			}
 			w.backoff(lad.spent)
 			continue
@@ -141,6 +258,9 @@ func (w *Worker) runLoop(spec *proc.Spec, procName string, adhoc bool, mkEnv fun
 		// Application abort: permanent.
 		w.m.Inc(&w.m.Aborted)
 		w.event(obs.KAbort, uint64(obs.AbortUser), uint64(lad.total))
+		if w.traceOn {
+			w.finishTrace(obs.TraceAborted, time.Since(start), lad.total+1)
+		}
 		return env, err
 	}
 }
@@ -298,7 +418,13 @@ func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adh
 	// the worker count).
 	t.noYield = lad.total > 8
 
+	// Tracing needs the same phase clocks as detailed metrics; the
+	// trace accumulates across attempts (a restarted attempt's work is
+	// real latency), while the per-phase counters stay gated on
+	// DetailedMetrics alone.
 	detailed := w.e.opts.DetailedMetrics
+	traced := w.traceOn
+	timed := detailed || traced
 	var tRead, tValidate, tHeal, tWrite time.Duration
 	attemptStart := time.Now()
 
@@ -310,36 +436,56 @@ func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adh
 		return err
 	}
 
-	readStart := attemptStart
-	if err := t.readPhase(); err != nil {
+	// Phase clocks are boundary timestamps: each phase ends where the
+	// next begins, so a fully timed commit costs four clock reads per
+	// attempt, not a start/stop pair per phase. A chaos stall drawn at
+	// the pre-validation checkpoint lands in the validate phase, which
+	// is exactly the window it stretches.
+	err := t.readPhase()
+	valStart := attemptStart
+	if timed {
+		valStart = time.Now()
+		tRead = valStart.Sub(attemptStart)
+	}
+	if traced {
+		w.trace.ExecUS += int64(tRead / time.Microsecond)
+		w.trace.Proto = uint8(proto)
+	}
+	if err != nil {
 		if errors.Is(err, errRestart) {
 			return fail(errRestart) // 2PL no-wait conflict
 		}
 		return fail(err) // application abort
 	}
-	if detailed {
-		tRead = time.Since(readStart)
-	}
 	if err := w.chaosPoint(fault.PreValidation); err != nil {
 		return fail(err)
 	}
 
-	valStart := time.Now()
 	switch proto {
 	case Healing:
-		if err := t.validateHealing(); err != nil {
-			return fail(err)
-		}
-		if detailed {
+		err := t.validateHealing()
+		writeStart := valStart
+		if timed {
+			writeStart = time.Now()
 			tHeal = t.healDur
-			tValidate = time.Since(valStart) - tHeal
+			tValidate = writeStart.Sub(valStart) - tHeal
 		}
-		writeStart := time.Now()
-		if err := t.commit(procName); err != nil {
+		if traced {
+			w.trace.ValidateUS += int64(tValidate / time.Microsecond)
+			w.trace.HealUS += int64(tHeal / time.Microsecond)
+		}
+		if err != nil {
 			return fail(err)
 		}
-		if detailed {
+		err = t.commit(procName)
+		if timed {
 			tWrite = time.Since(writeStart)
+		}
+		if traced {
+			w.trace.CommitUS += int64(tWrite / time.Microsecond)
+		}
+		if err != nil {
+			return fail(err)
 		}
 	case OCC, OCCNoValidate, Silo, SiloNoValidate:
 		var err error
@@ -348,27 +494,39 @@ func (w *Worker) attempt(prog *proc.Program, env *proc.Env, procName string, adh
 		} else {
 			err = t.validateSilo(proto == SiloNoValidate)
 		}
+		writeStart := valStart
+		if timed {
+			writeStart = time.Now()
+			tValidate = writeStart.Sub(valStart)
+		}
+		if traced {
+			w.trace.ValidateUS += int64(tValidate / time.Microsecond)
+		}
 		if err != nil {
 			return fail(err)
 		}
-		if detailed {
-			tValidate = time.Since(valStart)
-		}
-		writeStart := time.Now()
-		if err := t.commit(procName); err != nil {
-			return fail(err)
-		}
-		if detailed {
+		err = t.commit(procName)
+		if timed {
 			tWrite = time.Since(writeStart)
+		}
+		if traced {
+			w.trace.CommitUS += int64(tWrite / time.Microsecond)
+		}
+		if err != nil {
+			return fail(err)
 		}
 	case TPL:
 		// Locks were taken during the read phase; no validation, so
 		// install directly.
-		if err := t.commit(procName); err != nil {
-			return fail(err)
-		}
-		if detailed {
+		err := t.commit(procName)
+		if timed {
 			tWrite = time.Since(valStart)
+		}
+		if traced {
+			w.trace.CommitUS += int64(tWrite / time.Microsecond)
+		}
+		if err != nil {
+			return fail(err)
 		}
 	default:
 		return fail(fmt.Errorf("core: unsupported protocol %v", proto))

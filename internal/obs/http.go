@@ -26,6 +26,9 @@ type Plane struct {
 	srvStats  atomic.Pointer[metrics.Server]
 	ckStats   atomic.Pointer[metrics.Checkpoint]
 	bootRep   atomic.Pointer[bootReport]
+	tracer    atomic.Pointer[Tracer]
+	cont      atomic.Pointer[Contention]
+	exemplars atomic.Bool
 }
 
 // bootReport boxes the boot recovery report for atomic swap; the
@@ -77,6 +80,23 @@ func (p *Plane) SetCheckpointStats(c *metrics.Checkpoint) {
 	p.ckStats.Store(c)
 }
 
+// SetTracer attaches the transaction trace ring served at
+// /debug/trace (nil detaches). With exemplars true, /metrics decorates
+// the latency histogram buckets with the most recent slow trace ID in
+// OpenMetrics exemplar syntax (DESIGN.md §15.5) — off by default
+// because strict text-format 0.0.4 parsers may reject the suffix.
+func (p *Plane) SetTracer(t *Tracer, exemplars bool) {
+	p.tracer.Store(t)
+	p.exemplars.Store(exemplars && t != nil)
+}
+
+// SetContention attaches the hot-key sketch served at
+// /debug/contention and exported as thedb_contention_topk (nil
+// detaches).
+func (p *Plane) SetContention(c *Contention) {
+	p.cont.Store(c)
+}
+
 // SetBootReport attaches the boot recovery report served at
 // /debug/recovery. rep must be JSON-marshalable; a marshal failure is
 // reported by the endpoint, never at set time.
@@ -94,11 +114,13 @@ func (p *Plane) SetBootReport(rep any) {
 
 // Handler returns the exposition mux:
 //
-//	/metrics         Prometheus text format of the live snapshot
-//	/debug/events    flight-recorder dump (merged, time-ordered)
-//	/debug/recovery  boot recovery report (JSON), 404 until set
-//	/debug/pprof/    the standard pprof index (worker goroutines carry
-//	                 a thedb_worker label when driven via DoWorker)
+//	/metrics           Prometheus text format of the live snapshot
+//	/debug/events      flight-recorder dump (merged, time-ordered)
+//	/debug/trace       retained transaction traces (JSON), 404 until set
+//	/debug/contention  hot-key sketch snapshot (JSON), 404 until set
+//	/debug/recovery    boot recovery report (JSON), 404 until set
+//	/debug/pprof/      the standard pprof index (worker goroutines carry
+//	                   a thedb_worker label when driven via DoWorker)
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -107,12 +129,76 @@ func (p *Plane) Handler() http.Handler {
 		if s := p.src.Load(); s != nil {
 			agg = s.live()
 		}
-		WriteProm(w, agg)
+		var ex *Exemplar
+		if t := p.tracer.Load(); t != nil && p.exemplars.Load() {
+			if id, us, ok := t.LastSlow(); ok {
+				ex = &Exemplar{TraceID: id, ValueUS: us}
+			}
+		}
+		WritePromWith(w, agg, ex)
 		if s := p.srvStats.Load(); s != nil {
 			WritePromServer(w, s.Snapshot())
 		}
 		if c := p.ckStats.Load(); c != nil {
 			WritePromCheckpoint(w, c)
+		}
+		if c := p.cont.Load(); c != nil {
+			WritePromContention(w, c)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := p.tracer.Load()
+		if t == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		total, kept := t.Stats()
+		resp := struct {
+			SlowThresholdUS int64   `json:"slow_threshold_us"`
+			Total           uint64  `json:"total"`
+			Kept            uint64  `json:"kept"`
+			Traces          []Trace `json:"traces"`
+		}{
+			SlowThresholdUS: t.SlowThreshold().Microseconds(),
+			Total:           total,
+			Kept:            kept,
+			Traces:          t.Snapshot(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/contention", func(w http.ResponseWriter, r *http.Request) {
+		c := p.cont.Load()
+		if c == nil {
+			http.Error(w, "contention profiling not enabled", http.StatusNotFound)
+			return
+		}
+		var tn func(int) string
+		if f := p.tableName.Load(); f != nil {
+			tn = *f
+		}
+		entries := c.Snapshot()
+		type namedEntry struct {
+			ContEntry
+			TableName string `json:"table_name,omitempty"`
+		}
+		named := make([]namedEntry, len(entries))
+		for i, e := range entries {
+			named[i] = namedEntry{ContEntry: e}
+			if tn != nil {
+				named[i].TableName = tn(e.Table)
+			}
+		}
+		resp := struct {
+			K       int          `json:"k"`
+			Total   uint64       `json:"total"`
+			Entries []namedEntry `json:"entries"`
+		}{K: c.K(), Total: c.Total(), Entries: named}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/debug/recovery", func(w http.ResponseWriter, r *http.Request) {

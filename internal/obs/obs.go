@@ -143,11 +143,15 @@ type Event struct {
 	Epoch uint32
 	// A and B are the kind-specific payload words.
 	A, B uint64
+	// Trace is the transaction trace ID active when the event was
+	// recorded (0 when untraced): the correlation key between the
+	// flight recorder and the trace ring (DESIGN.md §15).
+	Trace uint64
 }
 
 // slotWords is the per-slot word count: version/seq, unix-nano time,
-// kind|epoch, A, B.
-const slotWords = 5
+// kind|epoch, A, B, trace.
+const slotWords = 6
 
 // slot is one seqlock-protected event cell. The writer publishes by
 // storing 0 into w[0], then the payload, then the (nonzero) global
@@ -167,13 +171,14 @@ type ring struct {
 	n     atomic.Uint64
 }
 
-func (r *ring) record(seq uint64, ts int64, kindEpoch, a, b uint64) {
+func (r *ring) record(seq uint64, ts int64, kindEpoch, a, b, trace uint64) {
 	s := &r.slots[r.n.Load()&r.mask]
 	s.w[0].Store(0) // invalidate: readers mid-slot will retry
 	s.w[1].Store(uint64(ts))
 	s.w[2].Store(kindEpoch)
 	s.w[3].Store(a)
 	s.w[4].Store(b)
+	s.w[5].Store(trace)
 	s.w[0].Store(seq) // publish
 	r.n.Add(1)
 }
@@ -231,9 +236,20 @@ func (r *Recorder) RingSize() int { return r.size }
 //
 //thedb:noalloc
 func (r *Recorder) Record(worker int, k Kind, epoch uint32, a, b uint64) {
+	r.RecordT(worker, k, epoch, a, b, 0)
+}
+
+// RecordT is Record with a transaction trace ID attached: every event
+// a traced transaction emits carries its trace ID, which is how
+// /debug/trace correlates a retained trace with the exact recorder
+// events of its heal passes and escalations. Same contract as Record:
+// wait-free, allocation-free, single recording goroutine per slot.
+//
+//thedb:noalloc
+func (r *Recorder) RecordT(worker int, k Kind, epoch uint32, a, b, trace uint64) {
 	ring := &r.rings[r.slotIndex(worker)]
 	seq := r.seq.Add(1)
-	ring.record(seq, time.Now().UnixNano(), uint64(k)|uint64(epoch)<<8, a, b)
+	ring.record(seq, time.Now().UnixNano(), uint64(k)|uint64(epoch)<<8, a, b, trace)
 }
 
 func (r *Recorder) slotIndex(worker int) int {
@@ -284,6 +300,7 @@ func (r *Recorder) Events() []Event {
 				Epoch:  uint32(ev[2] >> 8),
 				A:      ev[3],
 				B:      ev[4],
+				Trace:  ev[5],
 			})
 		}
 	}
@@ -305,8 +322,12 @@ func (r *Recorder) DumpWith(w io.Writer, tableName func(id int) string) {
 	fmt.Fprintf(w, "flight recorder: %d events retained (%d recorded, %d overwritten)\n",
 		len(events), r.Recorded(), r.Dropped())
 	for _, ev := range events {
-		fmt.Fprintf(w, "  [%6d] %-12s %-7s epoch=%-4d %s\n",
-			ev.Seq, ev.Time.Sub(r.start).Round(time.Microsecond), actorName(ev.Worker), ev.Epoch, ev.Detail(tableName))
+		trace := ""
+		if ev.Trace != 0 {
+			trace = fmt.Sprintf(" trace=%016x", ev.Trace)
+		}
+		fmt.Fprintf(w, "  [%6d] %-12s %-7s epoch=%-4d %s%s\n",
+			ev.Seq, ev.Time.Sub(r.start).Round(time.Microsecond), actorName(ev.Worker), ev.Epoch, ev.Detail(tableName), trace)
 	}
 }
 

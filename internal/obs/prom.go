@@ -18,6 +18,25 @@ import (
 // thedb_up is always rendered, even from a zero snapshot, so scrapers
 // (and the CI smoke) have one guaranteed gauge to assert on.
 func WriteProm(w io.Writer, a *metrics.Aggregate) {
+	WritePromWith(w, a, nil)
+}
+
+// Exemplar is the latency-histogram exemplar payload: the most recent
+// slow trace, attached to the bucket its latency falls in so a
+// dashboard can jump from a latency spike straight to /debug/trace.
+type Exemplar struct {
+	// TraceID is the slow trace's ID (rendered as 16 hex digits, the
+	// same form \trace and the recorder dump print).
+	TraceID uint64
+	// ValueUS is the trace's total latency in microseconds.
+	ValueUS int64
+}
+
+// WritePromWith is WriteProm with an optional histogram exemplar
+// (OpenMetrics exemplar syntax; nil renders plain 0.0.4 text). Gated
+// behind a flag upstream because strict text-format parsers may
+// reject the `# {...}` suffix.
+func WritePromWith(w io.Writer, a *metrics.Aggregate, ex *Exemplar) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
 	}
@@ -62,7 +81,7 @@ func WriteProm(w io.Writer, a *metrics.Aggregate) {
 		fmt.Fprintf(w, "%s{phase=%q} %s\n", name, ph.String(), formatFloat(float64(a.PhaseNS[ph])/float64(time.Second)))
 	}
 
-	writeLatencyHistogram(w, a)
+	writeLatencyHistogram(w, a, ex)
 }
 
 // WritePromServer renders the network serving plane's counters in the
@@ -119,20 +138,42 @@ func WritePromCheckpoint(w io.Writer, c *metrics.Checkpoint) {
 	gauge("thedb_restart_skipped_groups", "Commit groups below the checkpoint watermark, skipped at boot.", float64(c.RestartSkipped.Load()))
 }
 
+// WritePromContention renders the hot-key sketch as the
+// thedb_contention_topk series: one sample per tracked key, labeled
+// with table, key, feeding site split and the entry's overestimate
+// bound, ranked by the rank label (1 = hottest).
+func WritePromContention(w io.Writer, c *Contention) {
+	name := "thedb_contention_topk"
+	fmt.Fprintf(w, "# HELP %s Space-saving top-K contention counters: touches of a key at validation-failure and heal-start sites. The count overestimates the truth by at most err.\n# TYPE %s gauge\n", name, name)
+	for i, e := range c.Snapshot() {
+		fmt.Fprintf(w, "%s{rank=\"%d\",table=\"%d\",key=\"%d\",err=\"%d\",fails=\"%d\",heals=\"%d\"} %d\n",
+			name, i+1, e.Table, e.Key, e.Err, e.Fails, e.Heals, e.Count)
+	}
+	fmt.Fprintf(w, "# HELP thedb_contention_touches_total Contention observations fed to the sketch.\n# TYPE thedb_contention_touches_total counter\nthedb_contention_touches_total %d\n", c.Total())
+}
+
 // writeLatencyHistogram emits the committed-latency doubling buckets
-// as a Prometheus histogram in seconds.
-func writeLatencyHistogram(w io.Writer, a *metrics.Aggregate) {
+// as a Prometheus histogram in seconds. With a non-nil exemplar, the
+// bucket the exemplar's latency falls in gets an OpenMetrics exemplar
+// suffix: `# {trace_id="<16 hex>"} <latency seconds>`.
+func writeLatencyHistogram(w io.Writer, a *metrics.Aggregate, ex *Exemplar) {
 	name := "thedb_txn_latency_seconds"
 	fmt.Fprintf(w, "# HELP %s Committed-transaction latency (doubling buckets).\n# TYPE %s histogram\n", name, name)
 	uppers, counts := a.LatencyBuckets()
 	var cum int64
+	exDone := false
 	for i, upperUS := range uppers {
 		cum += counts[i]
 		le := "+Inf"
 		if !math.IsInf(upperUS, 1) {
 			le = formatFloat(upperUS / 1e6)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		suffix := ""
+		if ex != nil && !exDone && (math.IsInf(upperUS, 1) || float64(ex.ValueUS) <= upperUS) {
+			suffix = fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, formatFloat(float64(ex.ValueUS)/1e6))
+			exDone = true
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, le, cum, suffix)
 	}
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(a.LatencySumNS)/float64(time.Second)))
 	fmt.Fprintf(w, "%s_count %d\n", name, cum)

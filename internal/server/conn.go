@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/wire"
 )
 
@@ -213,6 +214,13 @@ func (c *conn) admit(id uint64, call wire.Call) {
 		sess: c.sess, seq: call.Seq,
 		arrival: time.Now(), budget: time.Duration(call.BudgetUS) * time.Microsecond,
 	}
+	if s.tracer != nil {
+		req.trace = call.TraceID
+		if req.trace == 0 {
+			// Untraced caller: mint the end-to-end ID at admission.
+			req.trace = s.mintTrace()
+		}
+	}
 	if req.budget > 0 && time.Since(req.arrival) >= req.budget {
 		// The caller's context died in transit; nothing was admitted,
 		// so answer plainly without touching the accounting or window.
@@ -246,6 +254,17 @@ func (c *conn) admit(id uint64, call wire.Call) {
 			// Already executed: replay the cached response under the
 			// retry's request id. The transaction does not run again.
 			s.stats.Inc(&s.stats.DedupHits)
+			if tr := s.tracer; tr != nil {
+				// A cached replay never reaches the engine, so record
+				// its trace here (always retained: outcome ≠ committed).
+				t := obs.Trace{
+					ID: req.trace, Proc: req.proc, Worker: -1,
+					Outcome: obs.TraceDedupHit,
+					StartNS: req.arrival.UnixNano(),
+					TotalUS: time.Since(req.arrival).Microseconds(),
+				}
+				tr.Keep(&t)
+			}
 			c.send(wire.AppendFrame(nil, e.op, id, e.payload))
 			s.finish(c)
 			return

@@ -35,6 +35,7 @@ import (
 
 	"thedb"
 	"thedb/internal/metrics"
+	"thedb/internal/obs"
 	"thedb/internal/proc"
 	"thedb/internal/storage"
 	"thedb/internal/wire"
@@ -117,6 +118,11 @@ type request struct {
 	// arrival+budget passes without the transaction having run.
 	arrival time.Time
 	budget  time.Duration
+
+	// trace is the call's end-to-end trace ID: the client's when it
+	// sent one, otherwise minted at admission when tracing is on
+	// (0 = tracing off).
+	trace uint64
 }
 
 // Server serves a database's stored-procedure catalog over the wire
@@ -151,6 +157,11 @@ type Server struct {
 	// ambiguity instead of retrying transparently.
 	incarnation uint64
 	sessions    registry
+
+	// tracer is the database's trace ring (nil when tracing is off);
+	// traceCtr feeds admission-minted trace IDs for untraced callers.
+	tracer   *obs.Tracer
+	traceCtr atomic.Uint64
 
 	draining    atomic.Bool
 	dispatchers sync.Once
@@ -211,7 +222,21 @@ func New(db *thedb.DB, cfg Config) *Server {
 		listeners:   map[net.Listener]struct{}{},
 		incarnation: uint64(time.Now().UnixNano()),
 		sessions:    registry{m: map[uint64]*session{}},
+		tracer:      db.Tracer(),
 	}
+}
+
+// mintTrace mints a nonzero trace ID for a call that arrived without
+// one (splitmix64 over a boot-salted counter, so IDs stay unique
+// across restarts with high probability).
+func (s *Server) mintTrace() uint64 {
+	x := s.traceCtr.Add(1) + s.incarnation
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x | 1
 }
 
 // Stats returns the serving plane's counters (live; read with
@@ -291,16 +316,29 @@ func (s *Server) serveOne(sess *thedb.Session, req *request) {
 		}), false)
 		return
 	}
+	// Hand the wire trace context to the engine session: queue wait is
+	// everything between admission and this dispatch slot.
+	traced := s.tracer != nil
+	if traced {
+		sess.SetTraceContext(req.trace, time.Since(req.arrival).Microseconds(), req.arrival.UnixNano())
+	}
 	env, err := sess.Run(req.proc, req.args...)
+	respStart := time.Now()
 	if err != nil {
 		re := s.mapError(err)
 		// Cache only settled outcomes. A retryable rejection (shed,
 		// contended, draining) must re-execute on retry, not replay
 		// the rejection from the window.
 		s.respond(req, wire.OpError, wire.AppendErrorPayload(nil, re), !re.Retryable())
-		return
+	} else {
+		s.respond(req, wire.OpResult, wire.AppendResultPayload(nil, outputsOf(env)), true)
 	}
-	s.respond(req, wire.OpResult, wire.AppendResultPayload(nil, outputsOf(env)), true)
+	if traced {
+		// Amend the retained trace (if tail sampling kept it) with the
+		// response-write cost, outbound backpressure included.
+		slot, id := sess.LastTrace()
+		s.tracer.AmendResp(slot, id, time.Since(respStart).Microseconds())
+	}
 }
 
 // respond answers an admitted request and any retries parked on its

@@ -37,6 +37,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendCall(nil, 12, Call{Proc: "KVInc", Seq: 41, BudgetUS: 250_000,
 		Args: []storage.Value{storage.Int(3), storage.Int(-7)}}))
 	f.Add(AppendCall(nil, 13, Call{Proc: "Edge", Seq: ^uint64(0), BudgetUS: 1}))
+	// Trace-context field (version 3): client-minted, max, and the
+	// untraced zero that the server replaces at admission.
+	f.Add(AppendCall(nil, 15, Call{Proc: "KVGet", Seq: 7, TraceID: 0x4f2ec1a900000001,
+		Args: []storage.Value{storage.Int(9)}}))
+	f.Add(AppendCall(nil, 16, Call{Proc: "Traced", Seq: 8, BudgetUS: 1_000, TraceID: ^uint64(0)}))
+	f.Add(AppendCall(nil, 17, Call{Proc: "Untraced", TraceID: 0}))
 	f.Add(AppendResult(nil, 9, []Output{
 		{Name: "v", Vals: []storage.Value{storage.Int(1)}},
 		{Name: "rows", List: true, Vals: []storage.Value{storage.Str("a"), storage.Str("b")}},
@@ -103,7 +109,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				t.Fatalf("call round trip decode: %v", err)
 			}
-			if c2.Proc != c.Proc || c2.Seq != c.Seq || c2.BudgetUS != c.BudgetUS || len(c2.Args) != len(c.Args) {
+			if c2.Proc != c.Proc || c2.Seq != c.Seq || c2.BudgetUS != c.BudgetUS || c2.TraceID != c.TraceID || len(c2.Args) != len(c.Args) {
 				t.Fatalf("call round trip: %+v -> %+v", c, c2)
 			}
 			for i := range c.Args {

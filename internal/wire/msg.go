@@ -130,12 +130,20 @@ type Call struct {
 	// the call with CodeDeadline — at admission or just before
 	// execution — once the budget has elapsed on its own clock.
 	BudgetUS uint64
+	// TraceID is the client-minted transaction trace ID (version 3).
+	// Zero means the caller is untraced: a server with tracing enabled
+	// mints an ID at admission instead, so every traced transaction
+	// has exactly one nonzero ID end to end. The ID correlates the
+	// retained trace, the flight-recorder events and the histogram
+	// exemplars (DESIGN.md §15).
+	TraceID uint64
 }
 
 // AppendCall appends an encoded OpCall frame.
 func AppendCall(dst []byte, id uint64, c Call) []byte {
 	p := binary.AppendUvarint(nil, c.Seq)
 	p = binary.AppendUvarint(p, c.BudgetUS)
+	p = binary.AppendUvarint(p, c.TraceID)
 	p = appendString(p, c.Proc)
 	p = binary.AppendUvarint(p, uint64(len(c.Args)))
 	for _, v := range c.Args {
@@ -157,6 +165,10 @@ func DecodeCall(p []byte) (Call, error) {
 	if budgetUS > uint64(math.MaxInt64/int64(time.Microsecond)) {
 		return Call{}, fmt.Errorf("wire: call: implausible deadline budget %dµs", budgetUS)
 	}
+	traceID, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return Call{}, fmt.Errorf("wire: call: trace id: %w", err)
+	}
 	name, rest, err := decodeString(rest)
 	if err != nil {
 		return Call{}, fmt.Errorf("wire: call: procedure name: %w", err)
@@ -168,7 +180,7 @@ func DecodeCall(p []byte) (Call, error) {
 	if argc > maxArgs {
 		return Call{}, fmt.Errorf("wire: call: implausible argument count %d", argc)
 	}
-	c := Call{Proc: name, Seq: seq, BudgetUS: budgetUS}
+	c := Call{Proc: name, Seq: seq, BudgetUS: budgetUS, TraceID: traceID}
 	if argc > 0 {
 		c.Args = make([]storage.Value, 0, argc)
 	}

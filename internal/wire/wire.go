@@ -48,6 +48,12 @@
 // budget (0 = none), which the server enforces at admission and again
 // before execution so work whose caller has given up is never run.
 //
+// Version 3 adds end-to-end transaction tracing. Each Call carries an
+// optional trace ID (0 = untraced; the server mints one at admission
+// when tracing is on), threaded through dispatch into the engine so
+// the retained trace, the flight-recorder events and the histogram
+// exemplars of one transaction all share the ID.
+//
 // # Errors and load shedding
 //
 // Failures travel as OpError payloads carrying a typed code, a
@@ -70,9 +76,9 @@ const Magic uint16 = 0x7DB1
 // Version is the protocol version this package speaks. The handshake
 // pins it: both sides reject frames carrying any other version.
 // Version 2 added session tokens, per-session op sequences and
-// deadline budgets (exactly-once retries); the frame header is
-// unchanged.
-const Version uint8 = 2
+// deadline budgets (exactly-once retries); version 3 added the
+// per-call transaction trace ID. The frame header is unchanged.
+const Version uint8 = 3
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 16

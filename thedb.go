@@ -260,6 +260,35 @@ type Config struct {
 	// Deterministic engine.
 	EventBuffer int
 
+	// TraceBuffer enables per-transaction tracing: every transaction
+	// accumulates phase timings (queue wait, execute, validate, each
+	// heal pass with restored-op counts, commit, WAL append) and the
+	// completed trace passes a tail-sampling filter into a bounded ring
+	// of the last TraceBuffer retained traces — slow, aborted, healed
+	// and contended transactions always kept, clean fast commits
+	// dropped. Served at /debug/trace by ObsHandler. Zero (the default)
+	// disables tracing; the per-transaction cost is then one nil check.
+	// Not supported by the Deterministic engine.
+	TraceBuffer int
+
+	// TraceSlow is the latency threshold above which a committed
+	// transaction counts as slow for tail sampling and histogram
+	// exemplars (default 0 = only aborted/healed/contended transactions
+	// are retained).
+	TraceSlow time.Duration
+
+	// TraceExemplars attaches the most recent slow trace ID to the
+	// latency histogram in OpenMetrics exemplar syntax. Off by default
+	// because strict Prometheus 0.0.4 parsers may reject the suffix.
+	TraceExemplars bool
+
+	// ContentionK enables the hot-key contention profiler: a
+	// space-saving top-K sketch fed from validation-failure and
+	// heal-start sites, served at /debug/contention and exposed as the
+	// thedb_contention_topk metric series. Zero (the default) disables
+	// it. Not supported by the Deterministic engine.
+	ContentionK int
+
 	// Oracle, when non-nil, records every committed transaction's
 	// read/write footprint with its commit timestamp for an offline
 	// serializability check (oracle.Recorder.Check) after the run.
@@ -275,7 +304,9 @@ type DB struct {
 	eng     *core.Engine // nil for Deterministic
 	deng    *det.Engine  // nil otherwise
 	logger  *wal.Logger
-	rec     *obs.Recorder // nil unless Config.EventBuffer > 0
+	rec     *obs.Recorder   // nil unless Config.EventBuffer > 0
+	tracer  *obs.Tracer     // nil unless Config.TraceBuffer > 0
+	cont    *obs.Contention // nil unless Config.ContentionK > 0
 	started bool
 
 	ck      *checkpoint.Checkpointer // background checkpointer, if any
@@ -368,6 +399,12 @@ func (db *DB) ensureEngines() {
 	if db.cfg.EventBuffer > 0 {
 		db.rec = obs.NewRecorder(db.cfg.Workers, db.cfg.EventBuffer)
 	}
+	if db.cfg.TraceBuffer > 0 {
+		db.tracer = obs.NewTracer(db.cfg.TraceBuffer, db.cfg.TraceSlow)
+	}
+	if db.cfg.ContentionK > 0 {
+		db.cont = obs.NewContention(db.cfg.ContentionK)
+	}
 	db.eng = core.NewEngine(db.catalog, core.Options{
 		Protocol: core.Protocol(db.cfg.Protocol),
 		Workers:  db.cfg.Workers,
@@ -386,6 +423,8 @@ func (db *DB) ensureEngines() {
 		SyncBackoff:     db.cfg.SyncBackoff,
 		Logger:          db.logger,
 		Recorder:        db.rec,
+		Tracer:          db.tracer,
+		Contention:      db.cont,
 		Oracle:          db.cfg.Oracle,
 	})
 }
@@ -513,13 +552,31 @@ func (db *DB) ObsPlane() *obs.Plane {
 	p.SetSource(db.LiveMetrics)
 	p.SetRecorder(db.rec, db.tableName)
 	p.SetCheckpointStats(&db.ckstats)
+	p.SetTracer(db.tracer, db.cfg.TraceExemplars)
+	p.SetContention(db.cont)
 	return p
+}
+
+// Tracer returns the transaction trace ring (nil unless
+// Config.TraceBuffer > 0).
+func (db *DB) Tracer() *obs.Tracer {
+	db.ensureEngines()
+	return db.tracer
+}
+
+// Contention returns the hot-key contention sketch (nil unless
+// Config.ContentionK > 0).
+func (db *DB) Contention() *obs.Contention {
+	db.ensureEngines()
+	return db.cont
 }
 
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text format of LiveMetrics), /debug/events (flight
-// recorder dump, 404 when EventBuffer is 0) and /debug/pprof/. Mount
-// it on any mux or serve it with obs.StartServer.
+// recorder dump, 404 when EventBuffer is 0), /debug/trace (retained
+// transaction traces, 404 when TraceBuffer is 0), /debug/contention
+// (hot-key sketch, 404 when ContentionK is 0) and /debug/pprof/.
+// Mount it on any mux or serve it with obs.StartServer.
 func (db *DB) ObsHandler() http.Handler {
 	return db.ObsPlane().Handler()
 }
@@ -601,6 +658,28 @@ func (s *Session) Transact(fn func(ctx OpCtx) error) error {
 		return fmt.Errorf("thedb: Transact is not supported on the deterministic engine")
 	}
 	return s.w.Transact(fn)
+}
+
+// SetTraceContext primes the session's next transaction with
+// caller-supplied trace context: the wire trace ID (0 = mint one
+// locally), queue wait in microseconds, and the admission wall clock
+// in nanoseconds (0 = stamp at first execution). A no-op when tracing
+// is off or on the Deterministic engine.
+func (s *Session) SetTraceContext(id uint64, queueUS, startNS int64) {
+	if s.w != nil {
+		s.w.SetTraceContext(id, queueUS, startNS)
+	}
+}
+
+// LastTrace reports where the session's previous transaction landed
+// in the trace ring: the slot (-1 when dropped by tail sampling or
+// tracing is off) and its trace ID. The serving plane uses it to
+// amend response-write time via Tracer.AmendResp.
+func (s *Session) LastTrace() (slot int, id uint64) {
+	if s.w != nil {
+		return s.w.LastTrace()
+	}
+	return -1, 0
 }
 
 // Metrics returns this session's private counters.

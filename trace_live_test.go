@@ -1,0 +1,207 @@
+package thedb_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"thedb"
+	"thedb/internal/obs"
+)
+
+// TestTraceCorrelatesWithRecorderUnderContention is the end-to-end
+// tracing acceptance test, run under the race detector: a contended
+// workload (four workers hammering two counters) forces healing, and
+// every healed trace retained by /debug/trace must correlate with the
+// flight recorder — heal-start and heal-end events recorded under the
+// same trace ID — and carry monotonic phase timestamps. The contention
+// profiler fed from the same sites must name the hot keys.
+func TestTraceCorrelatesWithRecorderUnderContention(t *testing.T) {
+	const (
+		workers = 4
+		hotKeys = 2
+		rounds  = 200 // per worker; two hot counters force heals quickly
+	)
+	db := counterDB(t, thedb.Config{
+		Protocol:    thedb.Healing,
+		Workers:     workers,
+		EventBuffer: 8192, // large enough that this workload never wraps
+		TraceBuffer: 1024, // likewise: every interesting trace stays
+		ContentionK: 16,
+	})
+	// YieldIncr stretches the read-to-validation window with scheduler
+	// yields so concurrent increments reliably invalidate each other —
+	// under the race detector the scheduler serializes goroutines
+	// enough that plain back-to-back increments rarely overlap. The
+	// write is value-dependent on the read, so the conflict heals.
+	db.MustRegister(&thedb.Spec{
+		Name:   "YieldIncr",
+		Params: []string{"k"},
+		Plan: func(b *thedb.Builder, _ *thedb.Env) {
+			b.Op(thedb.Op{
+				Name:     "read",
+				KeyReads: []string{"k"},
+				Writes:   []string{"v"},
+				Body: func(ctx thedb.OpCtx) error {
+					row, _, err := ctx.Read("C", thedb.Key(ctx.Env().Int("k")), nil)
+					if err != nil {
+						return err
+					}
+					ctx.Env().SetInt("v", row[0].Int()+1)
+					return nil
+				},
+			})
+			b.Op(thedb.Op{
+				Name:     "write",
+				KeyReads: []string{"k"},
+				ValReads: []string{"v"},
+				Body: func(ctx thedb.OpCtx) error {
+					for i := 0; i < 4; i++ {
+						runtime.Gosched()
+					}
+					e := ctx.Env()
+					return ctx.Write("C", thedb.Key(e.Int("k")), []int{0},
+						[]thedb.Value{thedb.Int(e.Int("v"))})
+				},
+			})
+		},
+	})
+	db.Start()
+	defer db.Close()
+
+	// Heals need a conflicting commit inside another transaction's
+	// read-to-validate window, which is microseconds wide — one batch
+	// usually suffices but is not guaranteed, so drive batches until
+	// the engine reports at least one heal (bounded; the probability of
+	// every batch missing shrinks geometrically).
+	batches := 0
+	for ; batches < 25; batches++ {
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				s := db.Session(wi)
+				for i := 0; i < rounds; i++ {
+					if _, err := s.Run("YieldIncr", thedb.Int(int64(i%hotKeys))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(wi)
+		}
+		wg.Wait()
+		if db.LiveMetrics().Heals > 0 {
+			batches++
+			break
+		}
+	}
+	if db.LiveMetrics().Heals == 0 {
+		t.Fatal("hot-key workload never healed; cannot exercise trace correlation")
+	}
+
+	// Pull the retained traces through the real HTTP surface.
+	rr := httptest.NewRecorder()
+	db.ObsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/trace status %d: %s", rr.Code, rr.Body.String())
+	}
+	var tresp struct {
+		Total  uint64      `json:"total"`
+		Kept   uint64      `json:"kept"`
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &tresp); err != nil {
+		t.Fatalf("/debug/trace JSON: %v", err)
+	}
+	if want := uint64(workers * rounds * batches); tresp.Total != want {
+		t.Errorf("tracer saw %d transactions, want %d", tresp.Total, want)
+	}
+
+	// Index the recorder's heal events by trace ID.
+	healStarts := map[uint64]int{}
+	healEnds := map[uint64]int{}
+	for _, ev := range db.Events() {
+		switch ev.Kind {
+		case obs.KHealStart:
+			healStarts[ev.Trace]++
+		case obs.KHealEnd:
+			healEnds[ev.Trace]++
+		}
+	}
+
+	healed := 0
+	for _, trc := range tresp.Traces {
+		if trc.ID == 0 {
+			t.Fatalf("retained trace without an ID: %+v", trc)
+		}
+		if trc.StartNS <= 0 || trc.TotalUS < 0 {
+			t.Errorf("trace %016x has non-positive clock fields: start_ns=%d total_us=%d",
+				trc.ID, trc.StartNS, trc.TotalUS)
+		}
+		if sum := trc.ExecUS + trc.ValidateUS + trc.HealUS + trc.CommitUS; sum > trc.TotalUS {
+			t.Errorf("trace %016x phase sum %dus exceeds total %dus", trc.ID, sum, trc.TotalUS)
+		}
+		if trc.NPasses == 0 {
+			continue
+		}
+		healed++
+		// Every healed trace correlates: the recorder holds matching
+		// heal-start/heal-end pairs under the same trace ID.
+		n := int(trc.NPasses)
+		if healStarts[trc.ID] != n || healEnds[trc.ID] != n {
+			t.Errorf("trace %016x: %d heal passes but recorder has %d starts / %d ends",
+				trc.ID, n, healStarts[trc.ID], healEnds[trc.ID])
+		}
+		// Monotonic phase timestamps: passes ordered, each well-formed,
+		// every pass restored at least one operation.
+		passes := trc.Passes[:min(n, obs.MaxHealPasses)]
+		prev := int64(-1)
+		for pi, p := range passes {
+			if p.StartUS < 0 || p.EndUS < p.StartUS {
+				t.Errorf("trace %016x pass %d offsets [%d..%d] not monotonic",
+					trc.ID, pi, p.StartUS, p.EndUS)
+			}
+			if p.StartUS < prev {
+				t.Errorf("trace %016x pass %d starts at %dus before prior pass (%dus)",
+					trc.ID, pi, p.StartUS, prev)
+			}
+			prev = p.StartUS
+			if p.Restored == 0 {
+				t.Errorf("trace %016x pass %d restored no operations", trc.ID, pi)
+			}
+		}
+	}
+	if healed == 0 {
+		t.Fatal("contended workload retained no healed traces")
+	}
+
+	// The contention profiler names the hot keys.
+	rr = httptest.NewRecorder()
+	db.ObsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/contention", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/contention status %d", rr.Code)
+	}
+	var cresp struct {
+		Total   uint64 `json:"total"`
+		Entries []struct {
+			obs.ContEntry
+			TableName string `json:"table_name"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &cresp); err != nil {
+		t.Fatalf("/debug/contention JSON: %v", err)
+	}
+	if len(cresp.Entries) == 0 {
+		t.Fatal("contention sketch empty after a contended run")
+	}
+	top := cresp.Entries[0]
+	if top.Key >= hotKeys {
+		t.Errorf("hottest key = %d, want one of the %d hot counters", top.Key, hotKeys)
+	}
+	if top.TableName != "C" {
+		t.Errorf("hottest table = %q, want C", top.TableName)
+	}
+}
