@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke net-chaos recovery-torture restart-smoke bench-restart bench-ycsb trace-smoke
+.PHONY: build test vet race lint verify bench chaos obs-smoke fuzz net-smoke net-chaos recovery-torture restart-smoke bench-restart bench-ycsb trace-smoke snapshot-smoke
 
 build:
 	$(GO) build ./...
@@ -133,6 +133,48 @@ trace-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "trace-smoke: server did not drain cleanly"; exit 1; }; \
 	echo "trace-smoke: traces retained, breakdown printed, contention + exemplars exported, clean drain"
+
+# snapshot-smoke is the end-to-end MVCC check (DESIGN.md §16): pin the
+# zero-allocation version-install fast path, then boot a YCSB server
+# on loopback and drive the snap mix (read-mostly writes plus 5%
+# snapshot long scans on the read-only wire path). The bench itself
+# fails on any call failure, so a clean exit already proves zero
+# read-only validation failures; the /metrics scrape then requires
+# committed snapshot reads, installed versions, and a nonzero GC
+# reclaim counter — the full install → pin → read → prune loop ran.
+SNAP_ADDR ?= 127.0.0.1:17737
+SNAP_OBS_ADDR ?= 127.0.0.1:19098
+snapshot-smoke:
+	$(GO) test -run 'TestVersionHotPathZeroAlloc' ./internal/storage/
+	$(GO) build -o /tmp/thedb-server ./cmd/thedb-server
+	$(GO) build -o /tmp/thedb-bench ./cmd/thedb-bench
+	/tmp/thedb-server -addr $(SNAP_ADDR) -workers 4 -workload ycsb \
+		-ycsb.records 20000 -obs.addr $(SNAP_OBS_ADDR) & \
+	pid=$$!; \
+	ok=; \
+	for i in $$(seq 1 40); do \
+		if /tmp/thedb-bench -addr $(SNAP_ADDR) -duration 100ms \
+			-net.clients 1 -net.conns 1 -net.records 20000 >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.25; \
+	done; \
+	test -n "$$ok" || { echo "snapshot-smoke: server never accepted calls"; kill $$pid 2>/dev/null; exit 1; }; \
+	/tmp/thedb-bench -addr $(SNAP_ADDR) -duration 3s -net.mix snap -net.records 20000 \
+		> /tmp/thedb-snap-bench.txt 2>&1 \
+		|| { echo "snapshot-smoke: bench failed"; cat /tmp/thedb-snap-bench.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	cat /tmp/thedb-snap-bench.txt; \
+	grep -q 'snapshot reads' /tmp/thedb-snap-bench.txt \
+		|| { echo "snapshot-smoke: bench ran no snapshot reads"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://$(SNAP_OBS_ADDR)/metrics > /tmp/thedb-snap-metrics.txt \
+		|| { echo "snapshot-smoke: /metrics never answered"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '^thedb_snapshot_reads_total [1-9]' /tmp/thedb-snap-metrics.txt \
+		|| { echo "snapshot-smoke: no committed snapshot reads"; grep thedb_snapshot /tmp/thedb-snap-metrics.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '^thedb_mvcc_versions_installed_total [1-9]' /tmp/thedb-snap-metrics.txt \
+		|| { echo "snapshot-smoke: no versions installed"; grep thedb_mvcc /tmp/thedb-snap-metrics.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '^thedb_mvcc_versions_reclaimed_total [1-9]' /tmp/thedb-snap-metrics.txt \
+		|| { echo "snapshot-smoke: GC reclaimed no versions"; grep thedb_mvcc /tmp/thedb-snap-metrics.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "snapshot-smoke: server did not drain cleanly"; exit 1; }; \
+	echo "snapshot-smoke: snap mix over loopback ok, snapshot reads committed, versions installed + reclaimed, clean drain"
 
 # net-chaos is the serving-plane torture (DESIGN.md §14): a client
 # fleet drives disjoint workloads through the fault-injecting proxy

@@ -267,7 +267,18 @@ func (c *Client) Close() error {
 // the server exactly once; a MaybeCommittedError means the outcome is
 // unknown and the caller must reconcile.
 func (c *Client) Call(ctx context.Context, procName string, args ...storage.Value) (*Result, error) {
-	return c.callSeq(ctx, c.seq.Add(1), 0, procName, args)
+	return c.callSeq(ctx, c.seq.Add(1), 0, procName, args, false)
+}
+
+// CallSnapshot invokes a stored procedure as a read-only snapshot
+// transaction: the server executes it against an epoch-consistent
+// snapshot with zero validation (DESIGN.md §16), so long analytical
+// reads neither abort nor slow concurrent writers. The call is
+// idempotent by construction — it opts out of the exactly-once dedup
+// window and is retried freely, never surfacing MaybeCommittedError. A
+// procedure that attempts a write fails with a server-reported abort.
+func (c *Client) CallSnapshot(ctx context.Context, procName string, args ...storage.Value) (*Result, error) {
+	return c.callSeq(ctx, 0, 0, procName, args, true)
 }
 
 // callSeq drives one logical call — one sequence number — through as
@@ -277,7 +288,7 @@ func (c *Client) Call(ctx context.Context, procName string, args ...storage.Valu
 // holding the unanswered attempt, and the call stays transparently
 // retryable only while reconnects land on that same incarnation, whose
 // dedup window guarantees the retry cannot double-apply.
-func (c *Client) callSeq(ctx context.Context, seq, sentInc uint64, procName string, args []storage.Value) (*Result, error) {
+func (c *Client) callSeq(ctx context.Context, seq, sentInc uint64, procName string, args []storage.Value, readOnly bool) (*Result, error) {
 	var lastErr error
 	maybe := func(err error) error {
 		if sentInc != 0 {
@@ -308,7 +319,7 @@ func (c *Client) callSeq(ctx context.Context, seq, sentInc uint64, procName stri
 			// re-send could double-apply; surface the ambiguity.
 			return nil, &MaybeCommittedError{Cause: lastErr}
 		}
-		res, sent, err := cc.call(ctx, seq, procName, args)
+		res, sent, err := cc.call(ctx, seq, procName, args, readOnly)
 		if err == nil {
 			return res, nil
 		}
@@ -327,8 +338,10 @@ func (c *Client) callSeq(ctx context.Context, seq, sentInc uint64, procName stri
 		}
 		// No answer for this attempt. If the frame may have reached
 		// the wire, the call is ambiguous from here on — transparently
-		// retryable only under this incarnation's dedup window.
-		if sent {
+		// retryable only under this incarnation's dedup window. A
+		// read-only snapshot call has no ambiguity to track:
+		// re-executing it is always safe.
+		if sent && !readOnly {
 			if cc.welcome.Session == 0 {
 				return nil, &MaybeCommittedError{Cause: err}
 			}
@@ -399,7 +412,7 @@ func (c *Client) CallBatch(ctx context.Context, calls []Invocation) []Reply {
 			replies[i].Err = &MaybeCommittedError{Cause: err}
 			continue
 		}
-		replies[i].Result, replies[i].Err = c.callSeq(ctx, slots[i].seq, slots[i].sentInc, calls[i].Proc, calls[i].Args)
+		replies[i].Result, replies[i].Err = c.callSeq(ctx, slots[i].seq, slots[i].sentInc, calls[i].Proc, calls[i].Args, false)
 	}
 	return replies
 }
@@ -595,8 +608,8 @@ func (cc *clientConn) handshake(opts Options, session uint64) error {
 // reports whether the frame may have reached the wire — the flag that
 // separates "provably never executed" from "ambiguous" when err is a
 // connection failure rather than a server answer.
-func (cc *clientConn) call(ctx context.Context, seq uint64, procName string, args []storage.Value) (*Result, bool, error) {
-	ch, id, sent, err := cc.issue(ctx, seq, procName, args, true)
+func (cc *clientConn) call(ctx context.Context, seq uint64, procName string, args []storage.Value, readOnly bool) (*Result, bool, error) {
+	ch, id, sent, err := cc.issue(ctx, seq, procName, args, true, readOnly)
 	if err != nil {
 		return nil, sent, err
 	}
@@ -610,7 +623,7 @@ func (cc *clientConn) call(ctx context.Context, seq uint64, procName string, arg
 // the buffer is pushed to the wire immediately (single calls) or left
 // for a batch flush. sent=true means bytes may have reached the wire
 // (a failed write can still have delivered the frame).
-func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, args []storage.Value, flush bool) (chan outcome, uint64, bool, error) {
+func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, args []storage.Value, flush, readOnly bool) (chan outcome, uint64, bool, error) {
 	var budgetUS uint64
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl)
@@ -655,7 +668,7 @@ func (cc *clientConn) issue(ctx context.Context, seq uint64, procName string, ar
 
 	buf := wire.AppendCall(nil, id, wire.Call{
 		Proc: procName, Args: args, Seq: seq, BudgetUS: budgetUS,
-		TraceID: mintTraceID(cc.traceBase + id),
+		TraceID: mintTraceID(cc.traceBase + id), ReadOnly: readOnly,
 	})
 	cc.wmu.Lock()
 	_, werr := cc.bw.Write(buf)
@@ -734,7 +747,7 @@ func (cc *clientConn) sendWindow(ctx context.Context, calls []Invocation, replie
 	pends := make([]pend, len(calls))
 	issued := 0
 	for i, inv := range calls {
-		ch, id, sent, err := cc.issue(ctx, slots[i].seq, inv.Proc, inv.Args, false)
+		ch, id, sent, err := cc.issue(ctx, slots[i].seq, inv.Proc, inv.Args, false, false)
 		slots[i].sent = sent
 		if sent && cc.welcome.Session != 0 {
 			slots[i].sentInc = cc.welcome.Incarnation

@@ -42,7 +42,7 @@ func main() {
 	netClients := flag.Int("net.clients", 8, "client goroutines for -addr mode")
 	netConns := flag.Int("net.conns", 4, "pooled connections for -addr mode")
 	netPipeline := flag.Int("net.pipeline", 32, "calls pipelined per batch in -addr mode")
-	netMix := flag.String("net.mix", "b", "YCSB mix for -addr mode: a, b, c or f")
+	netMix := flag.String("net.mix", "b", "YCSB mix for -addr mode: a, b, c, f or snap (read-mostly with snapshot long scans)")
 	netRecords := flag.Int("net.records", 100000, "remote YCSB table size (must match the server's -ycsb.records)")
 	netTheta := flag.Float64("net.theta", 0.8, "zipfian skew for -addr mode")
 	netObs := flag.String("net.obs", "", "the remote server's obs plane (host:port); after the run, pull /debug/trace and print the per-phase latency breakdown")

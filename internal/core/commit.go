@@ -65,6 +65,10 @@ func (t *Txn) commit(procName string) error {
 		rec := el.rec
 		switch {
 		case el.isDelete:
+			if rec.InstallVersion(ts) {
+				t.e.gc.TrackVersions(rec)
+				w.m.Inc(&w.m.VersionsInstalled)
+			}
 			rec.SetVisible(false)
 			rec.SetTimestamp(ts)
 			t.e.gc.Retire(rec)
@@ -97,6 +101,14 @@ func (t *Txn) commit(procName string) error {
 				}
 			}
 		default:
+			// Version-chain push (DESIGN.md §16): preserve the outgoing
+			// image before SetTuple when the stamp crosses an epoch
+			// boundary, so snapshot reads at the boundary still resolve
+			// it. InstallVersion no-ops in the same-epoch common case.
+			if rec.InstallVersion(ts) {
+				t.e.gc.TrackVersions(rec)
+				w.m.Inc(&w.m.VersionsInstalled)
+			}
 			old := rec.Tuple()
 			tuple := el.applyWrites(old)
 			rec.SetTuple(tuple)

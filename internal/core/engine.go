@@ -15,6 +15,7 @@ import (
 
 	"thedb/internal/fault"
 	"thedb/internal/metrics"
+	"thedb/internal/mvcc"
 	"thedb/internal/obs"
 	"thedb/internal/oracle"
 	"thedb/internal/proc"
@@ -258,6 +259,13 @@ type Engine struct {
 	stopC    chan struct{}
 	stopOnce sync.Once
 
+	// Snapshot-read state (DESIGN.md §16): snap publishes each
+	// worker's pinned snapshot timestamp, snapFloor is the monotone
+	// snapshot-floor ratchet; together they feed the version GC's
+	// low-watermark.
+	snap      *mvcc.PinSet
+	snapFloor mvcc.Floor
+
 	// Durability state (Appendix C group commit, hardened): the
 	// epoch advancer seals and syncs the log streams each tick, so
 	// an epoch is only reported durable once every stream holding
@@ -284,9 +292,16 @@ func NewEngine(catalog *storage.Catalog, opts Options) *Engine {
 	e.epoch = NewEpochManager(opts.EpochInterval)
 	e.epoch.chaos = opts.Chaos
 	e.epoch.rec = opts.Recorder
+	// Registration is always armed — VisibleFloor (snapshot reads)
+	// scans it; lag 0 keeps the stall checks off when the watchdog is
+	// disabled.
+	lag := uint32(0)
 	if opts.WatchdogLag > 0 {
-		e.epoch.Watch(opts.Workers, uint32(opts.WatchdogLag), nil)
+		lag = uint32(opts.WatchdogLag)
 	}
+	e.epoch.Watch(opts.Workers, lag, nil)
+	e.snap = mvcc.NewPinSet(opts.Workers)
+	e.gc.SetWatermark(e.versionWatermark)
 	for i := 0; i < opts.Workers; i++ {
 		e.workers = append(e.workers, newWorker(e, i))
 	}
@@ -482,7 +497,8 @@ func (e *Engine) LiveMetrics() *metrics.Aggregate {
 }
 
 // fillEngineMetrics adds the engine-owned (non-per-worker) state to
-// an aggregate: durability frontier and WAL volume.
+// an aggregate: durability frontier, WAL volume, and the MVCC/snapshot
+// gauges.
 func (e *Engine) fillEngineMetrics(a *metrics.Aggregate) {
 	a.DurableEpoch = e.durableEpoch.Load()
 	a.DurabilityLost = e.durabilityLost.Load()
@@ -493,6 +509,10 @@ func (e *Engine) fillEngineMetrics(a *metrics.Aggregate) {
 		a.WALFrames = st.Frames
 		a.WALBytes = st.Bytes
 	}
+	a.MVCCVersionsReclaimed = e.gc.VersionsReclaimed()
+	a.MVCCTrackedChains = e.gc.TrackedChains()
+	a.SnapshotsPinned = e.snap.Active()
+	a.SnapshotEpochLag = e.snapshotEpochLag()
 }
 
 // Recorder returns the flight recorder (nil when event tracing is

@@ -90,12 +90,15 @@ func (m *EpochManager) Advance() uint32 {
 	return e
 }
 
-// Watch arms the stuck-epoch watchdog: a worker that stays registered
-// (Refresh without a matching Idle) for more than lag epochs trips
-// once, counted per worker and reported to onTrip (optional). Call
-// before any worker runs.
+// Watch arms worker epoch registration and, when lag > 0, the
+// stuck-epoch watchdog: a worker that stays registered (Refresh
+// without a matching Idle) for more than lag epochs trips once,
+// counted per worker and reported to onTrip (optional). lag == 0 keeps
+// registration armed without stall checks — the registration table
+// also feeds VisibleFloor, which snapshot reads depend on, so the
+// engine always arms it. Call before any worker runs.
 func (m *EpochManager) Watch(workers int, lag uint32, onTrip func(worker int)) {
-	if workers <= 0 || lag == 0 {
+	if workers <= 0 {
 		return
 	}
 	m.wdLag = lag
@@ -123,6 +126,30 @@ func (m *EpochManager) Idle(worker int) {
 	m.wd[worker].Store(0)
 }
 
+// VisibleFloor returns the lowest epoch any currently registered
+// worker was in at its last Refresh, or the current epoch when no
+// worker is mid-transaction. Every in-flight and future commit is
+// stamped with at least the floor's epoch: a worker's commit reads the
+// epoch after its Refresh stored the registration, so a registration
+// the scan observes bounds that worker's commits from below, and a
+// registration the scan misses belongs to a commit whose epoch read
+// happened after the scan (hence at least the scan's current epoch).
+// Snapshot reads build their timestamps from this floor (DESIGN.md
+// §16).
+func (m *EpochManager) VisibleFloor() uint32 {
+	floor := m.cur.Load()
+	for i := range m.wd {
+		v := m.wd[i].Load()
+		if v&wdActive == 0 {
+			continue
+		}
+		if e := uint32(v); e < floor {
+			floor = e
+		}
+	}
+	return floor
+}
+
 // Trips returns how often the watchdog has fired for the worker.
 func (m *EpochManager) Trips(worker int) int64 {
 	if m.trips == nil || worker < 0 || worker >= len(m.trips) {
@@ -136,7 +163,7 @@ func (m *EpochManager) Trips(worker int) int64 {
 // latched per registration: one firing per stall, re-armed by the
 // next Refresh.
 func (m *EpochManager) checkStalls(cur uint32) {
-	if m.wd == nil {
+	if m.wd == nil || m.wdLag == 0 {
 		return
 	}
 	for i := range m.wd {

@@ -76,6 +76,13 @@ type Counters struct {
 	BudgetExhausted  int64 // transactions that ran out of retry budget (ErrContended)
 	WatchdogTrips    int64 // stuck-epoch watchdog firings attributed to this worker
 
+	// Snapshot-read counters (DESIGN.md §16). SnapshotReads counts
+	// committed snapshot transactions (a subset of Committed);
+	// VersionsInstalled counts version-chain nodes pushed by the commit
+	// path on epoch-boundary crossings.
+	SnapshotReads     int64
+	VersionsInstalled int64
+
 	// LatencySumNS totals committed-transaction latency, pairing with
 	// the histogram buckets for exposition (_sum of the Prometheus
 	// histogram).
@@ -97,6 +104,8 @@ func (c *Counters) accumulate(o *Counters) {
 	c.HealingFallbacks += o.HealingFallbacks
 	c.BudgetExhausted += o.BudgetExhausted
 	c.WatchdogTrips += o.WatchdogTrips
+	c.SnapshotReads += o.SnapshotReads
+	c.VersionsInstalled += o.VersionsInstalled
 	c.LatencySumNS += o.LatencySumNS
 	for p := range o.PhaseNS {
 		c.PhaseNS[p] += o.PhaseNS[p]
@@ -127,6 +136,10 @@ type Worker struct {
 	HealingFallbacks int64 // escalations to a less optimistic rung (Healing→OCC, OCC→2PL)
 	BudgetExhausted  int64 // transactions that ran out of retry budget (ErrContended)
 	WatchdogTrips    int64 // stuck-epoch watchdog firings attributed to this worker
+
+	// Snapshot-read counters (DESIGN.md §16).
+	SnapshotReads     int64
+	VersionsInstalled int64
 
 	// LatencySumNS totals committed-transaction latency, pairing with
 	// the histogram buckets for exposition (_sum of the Prometheus
@@ -200,6 +213,8 @@ func (w *Worker) Snapshot() Counters {
 	s.HealingFallbacks = atomic.LoadInt64(&w.HealingFallbacks)
 	s.BudgetExhausted = atomic.LoadInt64(&w.BudgetExhausted)
 	s.WatchdogTrips = atomic.LoadInt64(&w.WatchdogTrips)
+	s.SnapshotReads = atomic.LoadInt64(&w.SnapshotReads)
+	s.VersionsInstalled = atomic.LoadInt64(&w.VersionsInstalled)
 	s.LatencySumNS = atomic.LoadInt64(&w.LatencySumNS)
 	for p := range s.PhaseNS {
 		s.PhaseNS[p] = atomic.LoadInt64(&w.PhaseNS[p])
@@ -233,6 +248,12 @@ type Aggregate struct {
 	// WAL volume (engine-filled, zero when logging is off).
 	WALFrames int64 // log frames written across all streams
 	WALBytes  int64 // log bytes written across all streams
+
+	// MVCC / snapshot-read state (engine-filled, DESIGN.md §16).
+	MVCCVersionsReclaimed int64  // version-chain nodes reclaimed by the GC
+	MVCCTrackedChains     int    // records currently queued for chain pruning
+	SnapshotsPinned       int    // workers currently holding a pinned snapshot
+	SnapshotEpochLag      uint32 // epochs the oldest pinned snapshot trails the current epoch
 }
 
 // Merge folds per-worker collectors into one aggregate. The

@@ -1,0 +1,104 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinSetOldest(t *testing.T) {
+	p := NewPinSet(4)
+	if _, ok := p.Oldest(); ok {
+		t.Fatal("empty set reports a pin")
+	}
+	if n := p.Active(); n != 0 {
+		t.Fatalf("Active = %d, want 0", n)
+	}
+	p.Pin(1, 300)
+	p.Pin(3, 100)
+	p.Pin(0, 200)
+	if s, ok := p.Oldest(); !ok || s != 100 {
+		t.Fatalf("Oldest = (%d, %v), want (100, true)", s, ok)
+	}
+	if n := p.Active(); n != 3 {
+		t.Fatalf("Active = %d, want 3", n)
+	}
+	p.Unpin(3)
+	if s, ok := p.Oldest(); !ok || s != 200 {
+		t.Fatalf("Oldest after unpin = (%d, %v), want (200, true)", s, ok)
+	}
+	p.Unpin(0)
+	p.Unpin(1)
+	if _, ok := p.Oldest(); ok {
+		t.Fatal("drained set still reports a pin")
+	}
+}
+
+func TestFloorRatchet(t *testing.T) {
+	var f Floor
+	if got := f.Raise(10); got != 10 {
+		t.Fatalf("Raise(10) = %d", got)
+	}
+	// A stale (lower) candidate must not drag the floor back.
+	if got := f.Raise(5); got != 10 {
+		t.Fatalf("Raise(5) after 10 = %d, want 10", got)
+	}
+	if got := f.Raise(20); got != 20 {
+		t.Fatalf("Raise(20) = %d", got)
+	}
+	if got := f.Load(); got != 20 {
+		t.Fatalf("Load = %d, want 20", got)
+	}
+}
+
+func TestFloorRaiseConcurrentMonotone(t *testing.T) {
+	var f Floor
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 1; i <= 1000; i++ {
+				got := f.Raise(uint64(i))
+				if got < last {
+					t.Errorf("Raise went backwards: %d after %d", got, last)
+					return
+				}
+				last = got
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Load(); got != 1000 {
+		t.Fatalf("final floor = %d, want 1000", got)
+	}
+}
+
+func TestWatermark(t *testing.T) {
+	var f Floor
+	p := NewPinSet(2)
+
+	// No pins: the watermark is the ratcheted candidate.
+	if wm := Watermark(&f, p, 50); wm != 50 {
+		t.Fatalf("Watermark(no pins) = %d, want 50", wm)
+	}
+	// A pin below the floor holds the watermark down.
+	p.Pin(0, 30)
+	if wm := Watermark(&f, p, 60); wm != 30 {
+		t.Fatalf("Watermark(pin 30) = %d, want 30", wm)
+	}
+	// The floor itself must still have ratcheted past the pin: new
+	// snapshots start at or above it.
+	if got := f.Load(); got != 60 {
+		t.Fatalf("floor after Watermark = %d, want 60", got)
+	}
+	// A pin above the floor does not raise the watermark past it.
+	p.Pin(0, 100)
+	if wm := Watermark(&f, p, 60); wm != 60 {
+		t.Fatalf("Watermark(pin 100) = %d, want 60", wm)
+	}
+	p.Unpin(0)
+	if wm := Watermark(&f, p, 55); wm != 60 {
+		t.Fatalf("Watermark(stale candidate) = %d, want 60 (ratchet)", wm)
+	}
+}

@@ -62,6 +62,9 @@ func WritePromWith(w io.Writer, a *metrics.Aggregate, ex *Exemplar) {
 	counter("thedb_log_sync_failures_total", "Failed epoch log sync attempts.", a.LogSyncFailures)
 	counter("thedb_wal_frames_total", "WAL frames written across all streams.", a.WALFrames)
 	counter("thedb_wal_bytes_total", "WAL bytes written across all streams.", a.WALBytes)
+	counter("thedb_snapshot_reads_total", "Committed snapshot (read-only, zero-validation) transactions.", a.SnapshotReads)
+	counter("thedb_mvcc_versions_installed_total", "Version-chain nodes pushed by the commit path on epoch-boundary crossings.", a.VersionsInstalled)
+	counter("thedb_mvcc_versions_reclaimed_total", "Version-chain nodes reclaimed by the GC past the snapshot watermark.", a.MVCCVersionsReclaimed)
 
 	gauge("thedb_workers", "Execution workers configured.", float64(a.Workers))
 	gauge("thedb_epoch", "Global epoch at snapshot time.", float64(a.Epoch))
@@ -73,6 +76,9 @@ func WritePromWith(w io.Writer, a *metrics.Aggregate, ex *Exemplar) {
 	gauge("thedb_durability_lost", "1 after a log sync exhausted its retries.", lost)
 	gauge("thedb_tps", "Committed transactions per second of wall time.", a.TPS())
 	gauge("thedb_abort_rate", "Restarts per committed transaction.", a.AbortRate())
+	gauge("thedb_mvcc_tracked_chains", "Records currently queued for version-chain pruning.", float64(a.MVCCTrackedChains))
+	gauge("thedb_snapshots_pinned", "Workers currently holding a pinned snapshot.", float64(a.SnapshotsPinned))
+	gauge("thedb_snapshot_epoch_lag", "Epochs the oldest pinned snapshot trails the current epoch.", float64(a.SnapshotEpochLag))
 
 	name := "thedb_phase_seconds_total"
 	fmt.Fprintf(w, "# HELP %s Cumulative transaction-processing time by phase (Fig. 19 breakdown).\n# TYPE %s counter\n", name, name)

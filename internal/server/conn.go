@@ -211,7 +211,7 @@ func (c *conn) admit(id uint64, call wire.Call) {
 	}
 	req := &request{
 		c: c, id: id, proc: call.Proc, args: call.Args,
-		sess: c.sess, seq: call.Seq,
+		sess: c.sess, seq: call.Seq, readOnly: call.ReadOnly,
 		arrival: time.Now(), budget: time.Duration(call.BudgetUS) * time.Microsecond,
 	}
 	if s.tracer != nil {
@@ -248,7 +248,10 @@ func (c *conn) admit(id uint64, call wire.Call) {
 		}))
 		return
 	}
-	if c.sess != nil && req.seq != 0 {
+	// Read-only snapshot calls skip the dedup window: they write
+	// nothing, so re-executing a retry is safe and cheaper than
+	// caching response payloads for it.
+	if c.sess != nil && req.seq != 0 && !req.readOnly {
 		switch verdict, e := c.sess.register(req); verdict {
 		case dedupHit:
 			// Already executed: replay the cached response under the

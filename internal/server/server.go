@@ -123,6 +123,11 @@ type request struct {
 	// sent one, otherwise minted at admission when tracing is on
 	// (0 = tracing off).
 	trace uint64
+
+	// readOnly marks a snapshot-read call (wire v4 flag): dispatched
+	// via Session.RunSnapshot, bypassing the dedup window — re-reading
+	// a snapshot is idempotent, so retries simply re-execute.
+	readOnly bool
 }
 
 // Server serves a database's stored-procedure catalog over the wire
@@ -322,7 +327,13 @@ func (s *Server) serveOne(sess *thedb.Session, req *request) {
 	if traced {
 		sess.SetTraceContext(req.trace, time.Since(req.arrival).Microseconds(), req.arrival.UnixNano())
 	}
-	env, err := sess.Run(req.proc, req.args...)
+	var env *thedb.Env
+	var err error
+	if req.readOnly {
+		env, err = sess.RunSnapshot(req.proc, req.args...)
+	} else {
+		env, err = sess.Run(req.proc, req.args...)
+	}
 	respStart := time.Now()
 	if err != nil {
 		re := s.mapError(err)

@@ -53,6 +53,12 @@ type Record struct {
 	addr  uint64       // global lock-order position, fixed at creation
 	key   Key          // primary key, for logging and recovery
 	table int          // owning table id, for logging and recovery
+
+	// older heads the version chain of superseded row images
+	// (version.go); chained marks membership in the version GC's
+	// tracking queue.
+	older   atomic.Pointer[Version]
+	chained atomic.Bool
 }
 
 // NewRecord allocates a record holding tuple with the given initial

@@ -43,6 +43,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		Args: []storage.Value{storage.Int(9)}}))
 	f.Add(AppendCall(nil, 16, Call{Proc: "Traced", Seq: 8, BudgetUS: 1_000, TraceID: ^uint64(0)}))
 	f.Add(AppendCall(nil, 17, Call{Proc: "Untraced", TraceID: 0}))
+	// Flags word (version 4): snapshot-read calls with and without the
+	// other header fields populated.
+	f.Add(AppendCall(nil, 18, Call{Proc: "SnapScan", ReadOnly: true,
+		Args: []storage.Value{storage.Int(0), storage.Int(999)}}))
+	f.Add(AppendCall(nil, 19, Call{Proc: "SnapTraced", ReadOnly: true, Seq: 9,
+		BudgetUS: 2_000, TraceID: 0x4f2ec1a900000002}))
 	f.Add(AppendResult(nil, 9, []Output{
 		{Name: "v", Vals: []storage.Value{storage.Int(1)}},
 		{Name: "rows", List: true, Vals: []storage.Value{storage.Str("a"), storage.Str("b")}},
@@ -109,7 +115,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				t.Fatalf("call round trip decode: %v", err)
 			}
-			if c2.Proc != c.Proc || c2.Seq != c.Seq || c2.BudgetUS != c.BudgetUS || c2.TraceID != c.TraceID || len(c2.Args) != len(c.Args) {
+			if c2.Proc != c.Proc || c2.Seq != c.Seq || c2.BudgetUS != c.BudgetUS || c2.TraceID != c.TraceID || c2.ReadOnly != c.ReadOnly || len(c2.Args) != len(c.Args) {
 				t.Fatalf("call round trip: %+v -> %+v", c, c2)
 			}
 			for i := range c.Args {

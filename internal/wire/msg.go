@@ -137,13 +137,32 @@ type Call struct {
 	// retained trace, the flight-recorder events and the histogram
 	// exemplars (DESIGN.md §15).
 	TraceID uint64
+	// ReadOnly marks the call a snapshot read (version 4): the server
+	// executes it as a read-only snapshot transaction with zero
+	// validation and skips the dedup window (re-executing a read is
+	// safe). Wire flags word bit 0.
+	ReadOnly bool
 }
+
+// Call flag bits (version 4).
+const (
+	// callFlagReadOnly marks a snapshot-read call.
+	callFlagReadOnly uint64 = 1 << 0
+	// callFlagsKnown masks the flag bits this implementation
+	// understands; decoding rejects anything outside it.
+	callFlagsKnown = callFlagReadOnly
+)
 
 // AppendCall appends an encoded OpCall frame.
 func AppendCall(dst []byte, id uint64, c Call) []byte {
 	p := binary.AppendUvarint(nil, c.Seq)
 	p = binary.AppendUvarint(p, c.BudgetUS)
 	p = binary.AppendUvarint(p, c.TraceID)
+	flags := uint64(0)
+	if c.ReadOnly {
+		flags |= callFlagReadOnly
+	}
+	p = binary.AppendUvarint(p, flags)
 	p = appendString(p, c.Proc)
 	p = binary.AppendUvarint(p, uint64(len(c.Args)))
 	for _, v := range c.Args {
@@ -169,6 +188,13 @@ func DecodeCall(p []byte) (Call, error) {
 	if err != nil {
 		return Call{}, fmt.Errorf("wire: call: trace id: %w", err)
 	}
+	flags, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return Call{}, fmt.Errorf("wire: call: flags: %w", err)
+	}
+	if flags&^callFlagsKnown != 0 {
+		return Call{}, fmt.Errorf("wire: call: unknown flags %#x", flags&^callFlagsKnown)
+	}
 	name, rest, err := decodeString(rest)
 	if err != nil {
 		return Call{}, fmt.Errorf("wire: call: procedure name: %w", err)
@@ -180,7 +206,8 @@ func DecodeCall(p []byte) (Call, error) {
 	if argc > maxArgs {
 		return Call{}, fmt.Errorf("wire: call: implausible argument count %d", argc)
 	}
-	c := Call{Proc: name, Seq: seq, BudgetUS: budgetUS, TraceID: traceID}
+	c := Call{Proc: name, Seq: seq, BudgetUS: budgetUS, TraceID: traceID,
+		ReadOnly: flags&callFlagReadOnly != 0}
 	if argc > 0 {
 		c.Args = make([]storage.Value, 0, argc)
 	}

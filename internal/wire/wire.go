@@ -54,6 +54,14 @@
 // the retained trace, the flight-recorder events and the histogram
 // exemplars of one transaction all share the ID.
 //
+// Version 4 adds a per-call flags word (uvarint, after the trace ID).
+// Bit 0 marks the call read-only: the server executes it as a snapshot
+// transaction — an epoch-consistent read with zero validation
+// (DESIGN.md §16) — and skips the dedup window, since a read-only call
+// is safe to re-execute. Higher flag bits must be zero; the server
+// rejects calls carrying flags it does not understand rather than
+// silently dropping their semantics.
+//
 // # Errors and load shedding
 //
 // Failures travel as OpError payloads carrying a typed code, a
@@ -77,8 +85,9 @@ const Magic uint16 = 0x7DB1
 // pins it: both sides reject frames carrying any other version.
 // Version 2 added session tokens, per-session op sequences and
 // deadline budgets (exactly-once retries); version 3 added the
-// per-call transaction trace ID. The frame header is unchanged.
-const Version uint8 = 3
+// per-call transaction trace ID; version 4 added the per-call flags
+// word (read-only snapshot calls). The frame header is unchanged.
+const Version uint8 = 4
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 16

@@ -34,7 +34,18 @@ const (
 	ProcInsert = "YCSBInsert"
 	ProcScan   = "YCSBScan"
 	ProcRMW    = "YCSBReadModifyWrite"
+	// ProcSnapScan is the analytics long scan: it reads a large key
+	// range and aggregates without writing. Dispatchers run it on the
+	// snapshot path (Session.RunSnapshot / Client.CallSnapshot), where
+	// it commits with zero validation and cannot invalidate writers no
+	// matter how many records it touches.
+	ProcSnapScan = "YCSBSnapshotScan"
 )
+
+// IsReadOnly reports whether a procedure belongs on the snapshot
+// (read-only, zero-validation) dispatch path rather than the
+// healing-validated read-write path.
+func IsReadOnly(name string) bool { return name == ProcSnapScan }
 
 // Schema returns the USERTABLE schema.
 func Schema() storage.Schema {
@@ -74,9 +85,9 @@ func randomRow(rng *rand.Rand, fieldLen int) storage.Tuple {
 	return t
 }
 
-// Specs returns the five YCSB stored procedures.
+// Specs returns the six YCSB stored procedures.
 func Specs() []*proc.Spec {
-	return []*proc.Spec{readSpec(), updateSpec(), insertSpec(), scanSpec(), rmwSpec()}
+	return []*proc.Spec{readSpec(), updateSpec(), insertSpec(), scanSpec(), rmwSpec(), snapScanSpec()}
 }
 
 // readSpec: read all fields of one record.
@@ -178,6 +189,41 @@ func scanSpec() *proc.Spec {
 	}
 }
 
+// snapScanSpec: aggregate over up to count records starting at k —
+// row count plus total bytes in field0. Read-only by construction
+// (snapshot OpCtx rejects writes), sized for analytics: callers pass
+// counts in the hundreds or thousands where an OCC scan's read set
+// would make it a near-certain validation victim under write churn.
+func snapScanSpec() *proc.Spec {
+	return &proc.Spec{
+		Name:   ProcSnapScan,
+		Params: []string{"k", "count"},
+		Plan: func(b *proc.Builder, _ *proc.Env) {
+			b.Op(proc.Op{
+				Name:     "snapscan",
+				KeyReads: []string{"k", "count"},
+				Writes:   []string{"rows", "bytes"},
+				Body: func(ctx proc.OpCtx) error {
+					e := ctx.Env()
+					var rows, bytes int64
+					err := ctx.Scan(TabUser, storage.Key(e.Int("k")), ^storage.Key(0),
+						int(e.Int("count")), func(_ storage.Key, t storage.Tuple) bool {
+							rows++
+							bytes += int64(len(t[0].Str()))
+							return true
+						})
+					if err != nil {
+						return err
+					}
+					e.SetInt("rows", rows)
+					e.SetInt("bytes", bytes)
+					return nil
+				},
+			})
+		},
+	}
+}
+
 // rmwSpec: read all fields, then overwrite one (YCSB workload F).
 func rmwSpec() *proc.Spec {
 	return &proc.Spec{
@@ -225,6 +271,9 @@ func rmwSpec() *proc.Spec {
 // scan/rmw in percent.
 type Mix struct {
 	ReadPct, UpdatePct, InsertPct, ScanPct, RMWPct int
+	// SnapScanPct is the share of snapshot long scans (ProcSnapScan),
+	// dispatched on the read-only snapshot path.
+	SnapScanPct int
 }
 
 // Standard mixes.
@@ -239,6 +288,12 @@ var (
 	WorkloadE = Mix{ScanPct: 95, InsertPct: 5}
 	// WorkloadF is read-modify-write: 50 read / 50 RMW.
 	WorkloadF = Mix{ReadPct: 50, RMWPct: 50}
+	// WorkloadSnap is read-mostly OLTP with analytics riding along:
+	// 70 point reads / 25 updates keep the write churn real while 5%
+	// snapshot long scans sweep hundreds of records each. The scans
+	// run on the zero-validation snapshot path, so unlike an OCC scan
+	// mix (workload E) they neither abort nor invalidate the writers.
+	WorkloadSnap = Mix{ReadPct: 70, UpdatePct: 25, SnapScanPct: 5}
 )
 
 // Gen draws requests for one worker.
@@ -282,6 +337,11 @@ func (g *Gen) Next() (string, []storage.Value) {
 		return ProcInsert, []storage.Value{storage.Int(k), val}
 	case p < m.ReadPct+m.UpdatePct+m.InsertPct+m.ScanPct:
 		return ProcScan, []storage.Value{key, storage.Int(int64(1 + g.rng.Intn(20)))}
+	case p < m.ReadPct+m.UpdatePct+m.InsertPct+m.ScanPct+m.SnapScanPct:
+		// Long scans start at a uniform key so they sweep cold and hot
+		// ranges alike; length 200-1000 rows dwarfs the OCC scan cap.
+		start := storage.Int(int64(g.rng.Intn(g.n)))
+		return ProcSnapScan, []storage.Value{start, storage.Int(int64(200 + g.rng.Intn(801)))}
 	default:
 		return ProcRMW, []storage.Value{key, field, val}
 	}

@@ -120,6 +120,9 @@ var (
 	// poisoned and every subsequent transaction fails with this error.
 	// Restore from scratch instead of retrying.
 	ErrRecoveryFailed = errors.New("thedb: recovery failed, database poisoned")
+	// ErrReadOnlyTxn reports a write attempted inside a snapshot
+	// transaction (RunSnapshot / SnapshotRead).
+	ErrReadOnlyTxn = core.ErrReadOnlyTxn
 )
 
 // Protocol selects the concurrency-control mechanism.
@@ -478,6 +481,15 @@ func (db *DB) Session(i int) *Session {
 // are [0, Workers).
 func (db *DB) Workers() int { return db.cfg.Workers }
 
+// SnapshotRead runs fn as a read-only snapshot transaction on session
+// 0 — the convenience entry point for ad-hoc analytics against a
+// running instance. It inherits session 0's single-goroutine contract:
+// callers sharing session 0 must serialize with it. See
+// Session.SnapshotRead for the semantics.
+func (db *DB) SnapshotRead(fn func(ctx OpCtx) error) error {
+	return db.Session(0).SnapshotRead(fn)
+}
+
 // HasProcedure reports whether a stored procedure is registered under
 // name. The network server consults it to reject unknown procedures
 // before burning a transaction attempt.
@@ -658,6 +670,40 @@ func (s *Session) Transact(fn func(ctx OpCtx) error) error {
 		return fmt.Errorf("thedb: Transact is not supported on the deterministic engine")
 	}
 	return s.w.Transact(fn)
+}
+
+// RunSnapshot executes a stored procedure as a read-only snapshot
+// transaction (DESIGN.md §16): it pins an epoch-consistent snapshot at
+// start, resolves every read against the record version visible at
+// that snapshot, and commits with zero validation — no read-set
+// tracking, no healing, no aborts, and no interference with concurrent
+// writers. Any write primitive inside the procedure fails with
+// ErrReadOnlyTxn. Long analytical scans run at a stable snapshot
+// without ever invalidating or being invalidated. Not available on the
+// Deterministic engine.
+func (s *Session) RunSnapshot(procName string, args ...Value) (*Env, error) {
+	if s.db != nil && s.db.poisoned.Load() {
+		return nil, ErrRecoveryFailed
+	}
+	if s.dw != nil {
+		return nil, fmt.Errorf("thedb: RunSnapshot is not supported on the deterministic engine")
+	}
+	return s.w.RunSnapshot(procName, args...)
+}
+
+// SnapshotRead runs fn as an anonymous read-only snapshot transaction:
+// fn's reads go through the usual OpCtx primitives against one
+// epoch-consistent snapshot; writes fail with ErrReadOnlyTxn. fn runs
+// exactly once — snapshot transactions never restart. Not available on
+// the Deterministic engine.
+func (s *Session) SnapshotRead(fn func(ctx OpCtx) error) error {
+	if s.db != nil && s.db.poisoned.Load() {
+		return ErrRecoveryFailed
+	}
+	if s.dw != nil {
+		return fmt.Errorf("thedb: SnapshotRead is not supported on the deterministic engine")
+	}
+	return s.w.TransactSnapshot(fn)
 }
 
 // SetTraceContext primes the session's next transaction with
